@@ -1,0 +1,40 @@
+#pragma once
+// Shared fixtures for the Symbad benchmark harness. Each bench binary
+// regenerates one experiment from DESIGN.md's per-experiment index.
+
+#include <map>
+#include <string>
+
+#include "app/face_system.hpp"
+#include "core/system_model.hpp"
+#include "media/database.hpp"
+
+namespace symbad::benchfix {
+
+struct CaseStudy {
+  media::FaceDatabase db;
+  core::TaskGraph graph;
+
+  explicit CaseStudy(int identities = 10, int poses = 5)
+      : db{media::FaceDatabase::enroll(identities, poses)},
+        graph{app::face_task_graph(db)} {
+    const auto profile = app::profile_reference(db, 2);
+    app::annotate_from_profile(graph, profile, 2);
+  }
+};
+
+inline CaseStudy& case_study() {
+  static CaseStudy cs;
+  return cs;
+}
+
+/// Per-task CPU durations (seconds) on the ARM7-class processor.
+inline std::map<std::string, double> cpu_durations(const core::TaskGraph& graph) {
+  std::map<std::string, double> d;
+  for (const auto& node : graph.tasks()) {
+    d[node.name] = static_cast<double>(node.ops_per_frame) / (50e6 / 1.8);
+  }
+  return d;
+}
+
+}  // namespace symbad::benchfix

@@ -1,0 +1,75 @@
+// E9 — context-partition tuning (paper §3.3: "The partition of algorithms
+// and registers among the different configurations is an important
+// architectural aspect which must be thoroughly tuned for obtaining optimal
+// performances ... downloading bit streams is costly in terms of bus
+// loading"). Sweeps: split vs merged contexts, and bitstream size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace symbad;
+
+void run_partition(benchmark::State& state, const core::Partition& partition,
+                   std::uint32_t bitstream_words) {
+  auto& cs = benchfix::case_study();
+  core::PlatformParams params;
+  params.default_bitstream_words = bitstream_words;
+  core::PerformanceReport last;
+  for (auto _ : state) {
+    app::FaceStageRuntime runtime{cs.db};
+    core::SystemModel model{cs.graph, partition, runtime, params,
+                            core::ModelLevel::reconfigurable};
+    last = model.run(6);
+    benchmark::DoNotOptimize(last.reconfigurations);
+  }
+  state.counters["frames_per_sim_s"] = last.frames_per_second;
+  state.counters["bus_load_pct"] = last.bus_load * 100.0;
+  state.counters["reconfigs"] = static_cast<double>(last.reconfigurations);
+  state.counters["reconfig_ms"] = last.reconfiguration_time.to_ms();
+  state.counters["bitstream_words"] = bitstream_words;
+}
+
+/// The paper's partition: ROOT in config2, DISTANCE in config1 — two
+/// context switches per frame.
+void BM_Context_SplitTwoContexts(benchmark::State& state) {
+  auto& cs = benchfix::case_study();
+  run_partition(state, app::paper_level3_partition(cs.graph),
+                static_cast<std::uint32_t>(state.range(0)));
+}
+BENCHMARK(BM_Context_SplitTwoContexts)
+    ->Arg(512)->Arg(2048)->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
+
+/// Tuned alternative: both functions share one context — no steady-state
+/// reconfiguration at all.
+void BM_Context_MergedSingleContext(benchmark::State& state) {
+  auto& cs = benchfix::case_study();
+  run_partition(state, app::merged_context_partition(cs.graph),
+                static_cast<std::uint32_t>(state.range(0)));
+}
+BENCHMARK(BM_Context_MergedSingleContext)
+    ->Arg(512)->Arg(2048)->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
+
+/// Hardwired reference: no FPGA, no reconfiguration cost (level 2).
+void BM_Context_HardwiredReference(benchmark::State& state) {
+  auto& cs = benchfix::case_study();
+  core::PerformanceReport last;
+  for (auto _ : state) {
+    app::FaceStageRuntime runtime{cs.db};
+    core::SystemModel model{cs.graph, app::paper_level2_partition(cs.graph), runtime,
+                            {}, core::ModelLevel::timed_platform};
+    last = model.run(6);
+    benchmark::DoNotOptimize(last.bus_beats);
+  }
+  state.counters["frames_per_sim_s"] = last.frames_per_second;
+  state.counters["bus_load_pct"] = last.bus_load * 100.0;
+}
+BENCHMARK(BM_Context_HardwiredReference)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// E2 — Level-2 timed TL simulation speed (paper §4.1: "The TL model of the
+// partitioned system is able to produce a simulation speed closed to
+// 200kHz"). Reports simulated bus-clock kHz per wall second plus the
+// platform statistics the performance-evaluation step needs.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace symbad;
+
+void BM_Level2_TimedPlatformSimulation(benchmark::State& state) {
+  auto& cs = benchfix::case_study();
+  const int frames = static_cast<int>(state.range(0));
+  core::PerformanceReport last;
+  for (auto _ : state) {
+    app::FaceStageRuntime runtime{cs.db};
+    core::SystemModel level2{cs.graph, app::paper_level2_partition(cs.graph), runtime,
+                             {}, core::ModelLevel::timed_platform};
+    last = level2.run(frames);
+    benchmark::DoNotOptimize(last.bus_beats);
+  }
+  state.counters["sim_speed_kHz"] = last.sim_cycles_per_wall_second / 1e3;
+  state.counters["frames_per_sim_s"] = last.frames_per_second;
+  state.counters["bus_load_pct"] = last.bus_load * 100.0;
+  state.counters["cpu_util_pct"] = last.cpu_utilisation * 100.0;
+  state.counters["bus_transactions"] = static_cast<double>(last.bus_transactions);
+}
+BENCHMARK(BM_Level2_TimedPlatformSimulation)->Arg(4)->Arg(12)->Unit(benchmark::kMillisecond);
+
+/// All-software mapping at level 2: the baseline the partition improves on.
+void BM_Level2_AllSoftwareBaseline(benchmark::State& state) {
+  auto& cs = benchfix::case_study();
+  core::PerformanceReport last;
+  for (auto _ : state) {
+    app::FaceStageRuntime runtime{cs.db};
+    core::SystemModel model{cs.graph, core::Partition::all_software(cs.graph), runtime,
+                            {}, core::ModelLevel::timed_platform};
+    last = model.run(4);
+    benchmark::DoNotOptimize(last.frames_per_second);
+  }
+  state.counters["frames_per_sim_s"] = last.frames_per_second;
+  state.counters["cpu_util_pct"] = last.cpu_utilisation * 100.0;
+}
+BENCHMARK(BM_Level2_AllSoftwareBaseline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

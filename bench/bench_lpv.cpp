@@ -1,0 +1,111 @@
+// E5 — LPV proof performance (paper §3.1/§3.2/§4.2): deadlock-freeness on
+// the level-1 net (including a seeded deadlock), deadline proofs and FIFO
+// dimensioning on the level-2 timing.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "lpv/lpv.hpp"
+#include "lpv/petri.hpp"
+
+namespace {
+
+using namespace symbad;
+
+void BM_Lpv_DeadlockFreenessFaceGraph(benchmark::State& state) {
+  auto& cs = benchfix::case_study();
+  const auto net = lpv::petri_from_task_graph(cs.graph);
+  lpv::DeadlockResult result;
+  for (auto _ : state) {
+    result = lpv::check_deadlock_freeness(net);
+    benchmark::DoNotOptimize(result.proved_free);
+  }
+  state.counters["proved_free"] = result.proved_free ? 1.0 : 0.0;
+  state.counters["places"] = static_cast<double>(net.place_count());
+  state.counters["transitions"] = static_cast<double>(net.transition_count());
+}
+BENCHMARK(BM_Lpv_DeadlockFreenessFaceGraph)->Unit(benchmark::kMillisecond);
+
+void BM_Lpv_SeededDeadlockFound(benchmark::State& state) {
+  // Circular-wait net (two processes, two resources).
+  lpv::PetriNet net;
+  const int r1 = net.add_place("r1", 1);
+  const int r2 = net.add_place("r2", 1);
+  const int w1 = net.add_place("w1", 1);
+  const int h1 = net.add_place("h1", 0);
+  const int w2 = net.add_place("w2", 1);
+  const int h2 = net.add_place("h2", 0);
+  const int done = net.add_place("done", 0);
+  const int a1 = net.add_transition("p1_take_r1");
+  net.add_input_arc(w1, a1);
+  net.add_input_arc(r1, a1);
+  net.add_output_arc(a1, h1);
+  const int a2 = net.add_transition("p1_take_r2");
+  net.add_input_arc(h1, a2);
+  net.add_input_arc(r2, a2);
+  net.add_output_arc(a2, done);
+  const int b1 = net.add_transition("p2_take_r2");
+  net.add_input_arc(w2, b1);
+  net.add_input_arc(r2, b1);
+  net.add_output_arc(b1, h2);
+  const int b2 = net.add_transition("p2_take_r1");
+  net.add_input_arc(h2, b2);
+  net.add_input_arc(r1, b2);
+  net.add_output_arc(b2, done);
+
+  lpv::DeadlockResult result;
+  for (auto _ : state) {
+    result = lpv::check_deadlock_freeness(net);
+    benchmark::DoNotOptimize(result.counterexample_found);
+  }
+  state.counters["counterexample_found"] = result.counterexample_found ? 1.0 : 0.0;
+  state.counters["cases_pruned"] = result.cases_pruned;
+}
+BENCHMARK(BM_Lpv_SeededDeadlockFound)->Unit(benchmark::kMillisecond);
+
+void BM_Lpv_DeadlineProof(benchmark::State& state) {
+  auto& cs = benchfix::case_study();
+  const auto durations = benchfix::cpu_durations(cs.graph);
+  lpv::DeadlineResult result;
+  for (auto _ : state) {
+    result = lpv::check_deadline(cs.graph, durations, 0.2);
+    benchmark::DoNotOptimize(result.met);
+  }
+  state.counters["deadline_met"] = result.met ? 1.0 : 0.0;
+  state.counters["min_period_ms"] = result.min_period_s * 1e3;
+}
+BENCHMARK(BM_Lpv_DeadlineProof)->Unit(benchmark::kMillisecond);
+
+void BM_Lpv_FifoDimensioning(benchmark::State& state) {
+  auto& cs = benchfix::case_study();
+  const auto durations = benchfix::cpu_durations(cs.graph);
+  const auto base = lpv::minimum_period(cs.graph, durations);
+  lpv::FifoSizingResult result;
+  for (auto _ : state) {
+    result = lpv::size_fifos_for_period(cs.graph, durations, base.min_period_s * 1.1);
+    benchmark::DoNotOptimize(result.total_slots);
+  }
+  state.counters["feasible"] = result.feasible ? 1.0 : 0.0;
+  state.counters["total_slots"] = result.total_slots;
+}
+BENCHMARK(BM_Lpv_FifoDimensioning)->Unit(benchmark::kMillisecond);
+
+/// Scaling: synthetic chains of growing length.
+void BM_Lpv_DeadlockScaling(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::TaskGraph g;
+  for (int i = 0; i < n; ++i) g.add_task("t" + std::to_string(i), 100);
+  for (int i = 0; i + 1 < n; ++i) {
+    g.add_channel("t" + std::to_string(i), "t" + std::to_string(i + 1), 16, 2);
+  }
+  const auto net = lpv::petri_from_task_graph(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lpv::check_deadlock_freeness(net).proved_free);
+  }
+  state.counters["tasks"] = n;
+}
+BENCHMARK(BM_Lpv_DeadlockScaling)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// E7 — Level-4 formal verification (paper §3.4/§4.2): model-checking times
+// for the wrapper/ROOT RTL property suites and PCC property-coverage before
+// and after extending the verification plan.
+
+#include <benchmark/benchmark.h>
+
+#include "app/rtl_blocks.hpp"
+#include "mc/mc.hpp"
+#include "pcc/pcc.hpp"
+
+namespace {
+
+using namespace symbad;
+
+void BM_Mc_WrapperPropertySuite(benchmark::State& state) {
+  const auto n = app::build_wrapper_fsm();
+  const mc::ModelChecker checker{n};
+  const auto properties = app::wrapper_properties_extended();
+  int proved = 0;
+  for (auto _ : state) {
+    proved = 0;
+    for (const auto& prop : properties) {
+      if (checker.check(prop).status == mc::CheckStatus::proved) ++proved;
+    }
+    benchmark::DoNotOptimize(proved);
+  }
+  state.counters["properties"] = static_cast<double>(properties.size());
+  state.counters["proved"] = proved;
+}
+BENCHMARK(BM_Mc_WrapperPropertySuite)->Unit(benchmark::kMillisecond);
+
+void BM_Mc_RootCoreInvariant(benchmark::State& state) {
+  const auto n = app::build_root_rtl();
+  const mc::ModelChecker checker{n};
+  const auto prop = mc::Property::invariant(
+      "busy_and_done_exclusive",
+      !(mc::Expr::signal("busy") && mc::Expr::signal("done")));
+  mc::CheckResult result;
+  for (auto _ : state) {
+    result = checker.check(prop, {static_cast<int>(state.range(0)), 3});
+    benchmark::DoNotOptimize(result.status);
+  }
+  state.counters["bound"] = static_cast<double>(state.range(0));
+  state.counters["falsified"] = result.status == mc::CheckStatus::falsified ? 1.0 : 0.0;
+  state.counters["sat_conflicts"] = static_cast<double>(result.sat_conflicts);
+}
+BENCHMARK(BM_Mc_RootCoreInvariant)->Arg(5)->Arg(15)->Unit(benchmark::kMillisecond);
+
+void BM_Pcc_InitialPlan(benchmark::State& state) {
+  const auto n = app::build_wrapper_fsm();
+  pcc::PccOptions options;
+  options.bmc_bound = 8;
+  pcc::PccReport report;
+  for (auto _ : state) {
+    report = pcc::check_property_coverage(n, app::wrapper_properties_initial(), options);
+    benchmark::DoNotOptimize(report.detected);
+  }
+  state.counters["coverage_pct"] = report.coverage_percent();
+  state.counters["faults"] = static_cast<double>(report.total_faults);
+}
+BENCHMARK(BM_Pcc_InitialPlan)->Unit(benchmark::kMillisecond);
+
+void BM_Pcc_ExtendedPlan(benchmark::State& state) {
+  const auto n = app::build_wrapper_fsm();
+  pcc::PccOptions options;
+  options.bmc_bound = 8;
+  pcc::PccReport report;
+  for (auto _ : state) {
+    report = pcc::check_property_coverage(n, app::wrapper_properties_extended(), options);
+    benchmark::DoNotOptimize(report.detected);
+  }
+  state.counters["coverage_pct"] = report.coverage_percent();
+  state.counters["by_simulation"] = static_cast<double>(report.detected_by_simulation);
+  state.counters["by_bmc"] = static_cast<double>(report.detected_by_bmc);
+  state.counters["undetected"] = static_cast<double>(report.undetected.size());
+}
+BENCHMARK(BM_Pcc_ExtendedPlan)->Unit(benchmark::kMillisecond);
+
+void BM_Pcc_DistancePeSampledFaults(benchmark::State& state) {
+  const auto n = app::build_distance_rtl(8, 16);
+  std::vector<mc::Property> properties;
+  // A valid saturating beat (not being cleared) latches the overflow flag.
+  properties.push_back(mc::Property::next(
+      "saturating_sets_overflow",
+      mc::Expr::signal("saturating") && mc::Expr::signal("valid_in") &&
+          !mc::Expr::signal("clear_in"),
+      mc::Expr::signal("overflow")));
+  // Overflow is sticky while not cleared.
+  properties.push_back(mc::Property::next(
+      "overflow_sticky",
+      mc::Expr::signal("overflow") && !mc::Expr::signal("clear_in"),
+      mc::Expr::signal("overflow")));
+  pcc::PccOptions options;
+  options.bmc_bound = 5;
+  options.max_faults = static_cast<std::size_t>(state.range(0));
+  pcc::PccReport report;
+  for (auto _ : state) {
+    report = pcc::check_property_coverage(n, properties, options);
+    benchmark::DoNotOptimize(report.detected);
+  }
+  state.counters["coverage_pct"] = report.coverage_percent();
+  state.counters["faults"] = static_cast<double>(report.total_faults);
+}
+BENCHMARK(BM_Pcc_DistancePeSampledFaults)->Arg(24)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

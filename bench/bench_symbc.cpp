@@ -1,0 +1,62 @@
+// E6 — SymbC consistency checking (paper §3.3/§4.2): certificate and
+// counter-example production on the case-study SW, and runtime scaling with
+// program size.
+
+#include <benchmark/benchmark.h>
+
+#include "app/sw_source.hpp"
+#include "symbc/checker.hpp"
+
+namespace {
+
+using namespace symbad;
+
+void BM_Symbc_CorrectProgramCertified(benchmark::State& state) {
+  const auto spec = app::face_config_spec();
+  const auto source = app::face_sw_correct();
+  symbc::ConsistencyResult result;
+  for (auto _ : state) {
+    result = symbc::check_source(source, spec);
+    benchmark::DoNotOptimize(result.consistent);
+  }
+  state.counters["consistent"] = result.consistent ? 1.0 : 0.0;
+  state.counters["call_sites_certified"] = static_cast<double>(result.certificate.size());
+}
+BENCHMARK(BM_Symbc_CorrectProgramCertified)->Unit(benchmark::kMicrosecond);
+
+void BM_Symbc_BuggyProgramsCaught(benchmark::State& state) {
+  const auto spec = app::face_config_spec();
+  const std::string sources[] = {app::face_sw_missing_reload(),
+                                 app::face_sw_wrong_context(),
+                                 app::face_sw_call_before_load()};
+  int caught = 0;
+  for (auto _ : state) {
+    caught = 0;
+    for (const auto& src : sources) {
+      if (!symbc::check_source(src, spec).consistent) ++caught;
+    }
+    benchmark::DoNotOptimize(caught);
+  }
+  state.counters["bugs_seeded"] = 3;
+  state.counters["bugs_caught"] = caught;
+}
+BENCHMARK(BM_Symbc_BuggyProgramsCaught)->Unit(benchmark::kMicrosecond);
+
+void BM_Symbc_ScalingWithProgramSize(benchmark::State& state) {
+  const auto spec = app::face_config_spec();
+  const auto source = app::face_sw_scaled(static_cast<int>(state.range(0)));
+  symbc::ConsistencyResult result;
+  for (auto _ : state) {
+    result = symbc::check_source(source, spec);
+    benchmark::DoNotOptimize(result.consistent);
+  }
+  state.counters["source_bytes"] = static_cast<double>(source.size());
+  state.counters["consistent"] = result.consistent ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Symbc_ScalingWithProgramSize)
+    ->Arg(8)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// SymbC demonstration (paper §3.3): statically prove that the instrumented
+// application software only invokes FPGA functions whose context is loaded,
+// on the correct program and on three seeded bugs.
+//
+//   $ ./examples/reconfig_consistency
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "app/sw_source.hpp"
+#include "symbc/checker.hpp"
+
+namespace app = symbad::app;
+namespace symbc = symbad::symbc;
+
+namespace {
+
+void analyse(const char* title, const std::string& source,
+             const symbc::ConfigSpec& spec) {
+  std::printf("---- %s ----\n", title);
+  const auto result = symbc::check_source(source, spec);
+  if (result.consistent) {
+    std::printf("CERTIFICATE of consistency (%zu FPGA call sites):\n",
+                result.certificate.size());
+    for (const auto& cert : result.certificate) {
+      std::printf("  line %3d: %-16s possible contexts:", cert.line,
+                  cert.function.c_str());
+      for (const auto& ctx : cert.possible_contexts) std::printf(" %s", ctx.c_str());
+      std::printf("\n");
+    }
+  } else {
+    std::printf("COUNTER-EXAMPLE(S) — %zu violation(s):\n", result.violations.size());
+    for (const auto& v : result.violations) {
+      std::printf("  %s\n", v.to_string().c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== SymbC: reconfiguration consistency checking ==\n\n");
+  const auto spec = app::face_config_spec();
+  std::printf("configuration information:\n");
+  for (const auto& [ctx, fns] : spec.contexts) {
+    std::printf("  %s:", ctx.c_str());
+    for (const auto& fn : fns) std::printf(" %s", fn.c_str());
+    std::printf("\n");
+  }
+  std::printf("  reconfiguration procedure: %s(context)\n\n",
+              spec.reconfig_function.c_str());
+
+  analyse("correct instrumented SW", app::face_sw_correct(), spec);
+  analyse("BUG 1: missing reload in frame loop", app::face_sw_missing_reload(), spec);
+  analyse("BUG 2: wrong context loaded", app::face_sw_wrong_context(), spec);
+  analyse("BUG 3: call before any load", app::face_sw_call_before_load(), spec);
+  return 0;
+}

@@ -1,0 +1,94 @@
+#pragma once
+// The face recognition case study wired into the Symbad flow (paper §4).
+//
+// Provides: the Figure-2 task graph, the data semantics of every stage
+// (FaceStageRuntime), profiling-driven annotation, and the partitions the
+// paper uses (level 2: ROOT+DISTANCE in hardware; level 3: ROOT in context
+// config2 and DISTANCE in config1 on the embedded FPGA).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "core/system_model.hpp"
+#include "core/task_graph.hpp"
+#include "media/database.hpp"
+#include "media/face_gen.hpp"
+#include "media/pipeline.hpp"
+
+namespace symbad::app {
+
+/// Deterministic query pose for frame `frame` (unseen by enrollment).
+[[nodiscard]] media::Pose query_pose(int frame);
+/// Identity shown in frame `frame` (round-robin over the database).
+[[nodiscard]] int query_identity(int frame, int identities);
+
+/// The Figure-2 task graph. Channel volumes derive from the frame size and
+/// database; op counts start at zero and are filled in by profiling.
+[[nodiscard]] core::TaskGraph face_task_graph(const media::FaceDatabase& db,
+                                              int image_size = 64,
+                                              int window_size = 32);
+
+/// Runs the C reference model over `frames` query frames and returns the
+/// per-stage operation profile (flow step III).
+[[nodiscard]] media::PipelineProfile profile_reference(const media::FaceDatabase& db,
+                                                       int frames,
+                                                       int image_size = 64);
+
+/// Writes per-frame average op counts from `profile` into `graph`.
+void annotate_from_profile(core::TaskGraph& graph, const media::PipelineProfile& profile,
+                           int frames);
+
+/// Level-2 partition: the two heaviest tasks (ROOT, DISTANCE) in hardware.
+[[nodiscard]] core::Partition paper_level2_partition(const core::TaskGraph& graph);
+/// Level-3 partition: ROOT -> config2, DISTANCE -> config1 (paper §4.1).
+[[nodiscard]] core::Partition paper_level3_partition(const core::TaskGraph& graph);
+/// Tuned variant: both functions share one context (no steady-state
+/// reconfiguration) — the ablation of §3.3's tuning discussion.
+[[nodiscard]] core::Partition merged_context_partition(const core::TaskGraph& graph);
+
+/// Data semantics of the face recognition system: executes real media
+/// kernels per stage and keeps per-frame intermediate data, so every level's
+/// simulation computes (and traces) the same values as the C reference.
+class FaceStageRuntime : public core::StageRuntime {
+public:
+  FaceStageRuntime(const media::FaceDatabase& db, media::PipelineConfig config = {},
+                   int image_size = 64);
+
+  void begin_frame(int frame) override;
+  std::uint64_t execute_stage(const std::string& stage, int frame) override;
+  std::uint64_t trace_value(const std::string& stage, int frame) override;
+  std::uint32_t extra_read_words(const std::string& stage) const override;
+
+  /// Recognition results observed so far (index = frame).
+  [[nodiscard]] const std::vector<int>& identities() const noexcept { return identities_; }
+  [[nodiscard]] const media::FaceDatabase& database() const noexcept { return *db_; }
+
+private:
+  struct FrameData {
+    media::Image bayer;
+    media::Image luma;
+    media::Image eroded;
+    media::Image rooted;
+    media::EdgeResult edge;
+    media::EllipseFit fit;
+    media::Image window;
+    media::LineProfiles lines;
+    media::FeatureVec features;
+    std::vector<std::uint32_t> distances;
+    media::Winner winner;
+    std::map<std::string, std::uint64_t> traces;
+  };
+
+  [[nodiscard]] FrameData& frame_data(int frame);
+
+  const media::FaceDatabase* db_;
+  media::PipelineConfig config_;
+  int image_size_;
+  std::map<int, FrameData> frames_;
+  std::vector<int> identities_;
+};
+
+}  // namespace symbad::app

@@ -1,0 +1,57 @@
+#pragma once
+// Level-4 RTL of the case study's critical modules (paper §3.4 / §4.1-L4).
+//
+// The paper's level 4 produces RTL for the accelerated modules plus the
+// bus-interface wrappers, then applies model checking and PCC. We build:
+//  * ROOT core    — sequential restoring integer square root
+//                   (result = floor(sqrt(operand << 8)), 12 iterations);
+//  * DISTANCE PE  — the streaming |a-b| accumulator at the heart of
+//                   CALCDIST, with saturation and a sticky overflow flag;
+//  * the HW/SW interface wrapper FSM (the hand-built "dedicated wrappers to
+//    convert RTL protocol to transactional level" of §4.1).
+//
+// Port naming conventions are documented per builder; word ports use
+// `name[i]` bit naming (see rtl::make_inputs / set_output_word).
+
+#include <cstdint>
+#include <vector>
+
+#include "mc/mc.hpp"
+#include "rtl/netlist.hpp"
+
+namespace symbad::app {
+
+/// ROOT core.
+/// Inputs : start, op[15:0]
+/// Outputs: busy, done, result[11:0]
+/// Protocol: pulse `start` while idle; 12 cycles later `done` rises and
+/// `result` holds floor(sqrt(op << 8)). `done` clears on the next start.
+[[nodiscard]] rtl::Netlist build_root_rtl();
+
+/// Cycle count from start to done for the ROOT core.
+inline constexpr int kRootLatencyCycles = 12;
+
+/// Reference model of the ROOT core (matches media::root_transform).
+[[nodiscard]] std::uint16_t root_reference(std::uint16_t operand);
+
+/// DISTANCE processing element.
+/// Inputs : clear, valid, a[W-1:0], b[W-1:0]
+/// Outputs: acc[A-1:0], overflow
+/// Behaviour: on valid, acc += |a-b| with saturation at 2^A-1; `overflow`
+/// is sticky until clear.
+[[nodiscard]] rtl::Netlist build_distance_rtl(int data_width = 12, int acc_width = 20);
+
+/// HW/SW interface wrapper FSM.
+/// Inputs : start, xfer_done, dev_done
+/// Outputs: busy, bus_req, dev_start, ack, state[1:0]
+/// States : IDLE(00) -> LOAD(01) -> EXEC(10) -> STORE(11) -> IDLE.
+[[nodiscard]] rtl::Netlist build_wrapper_fsm();
+
+/// The verification plan for the wrapper FSM. The `initial` set is the plan
+/// before PCC feedback (§3.4: the designer proves properties, PCC reports
+/// missing coverage); the extended set adds the state-encoding and
+/// transition properties PCC's undetected-fault report motivates.
+[[nodiscard]] std::vector<mc::Property> wrapper_properties_initial();
+[[nodiscard]] std::vector<mc::Property> wrapper_properties_extended();
+
+}  // namespace symbad::app

@@ -1,0 +1,114 @@
+#include "app/sw_source.hpp"
+
+#include <sstream>
+
+namespace symbad::app {
+
+symbc::ConfigSpec face_config_spec() {
+  symbc::ConfigSpec spec;
+  spec.reconfig_function = "fpga_load";
+  spec.contexts["config1"] = {"distance_accel", "calcdist_accel"};
+  spec.contexts["config2"] = {"root_accel"};
+  return spec;
+}
+
+std::string face_sw_correct() {
+  return R"(
+/* Face recognition application SW, level-3 instrumentation (correct). */
+void process_frame() {
+  capture_frame();
+  bay_demosaic();
+  erosion();
+  fpga_load(config2);        /* ROOT lives in config2 */
+  root_accel();
+  edge_detect();
+  fit_ellipse();
+  crtbord();
+  crtline();
+  calcline();
+  fpga_load(config1);        /* DISTANCE lives in config1 */
+  distance_accel();
+  pick_winner();
+}
+
+int main() {
+  int frame = 0;
+  init_platform();
+  while (frames_remaining()) {
+    process_frame();
+    frame = frame + 1;
+  }
+  return 0;
+}
+)";
+}
+
+std::string face_sw_missing_reload() {
+  return R"(
+/* BUG: after the first iteration config1 is resident, but the loop calls
+   root_accel() again without reloading config2. */
+int main() {
+  init_platform();
+  fpga_load(config2);
+  root_accel();
+  while (frames_remaining()) {
+    fpga_load(config1);
+    distance_accel();
+    root_accel();            /* inconsistent from iteration 1 onwards */
+  }
+  return 0;
+}
+)";
+}
+
+std::string face_sw_wrong_context() {
+  return R"(
+/* BUG: the designer loads config1 but calls the ROOT accelerator. */
+int main() {
+  init_platform();
+  fpga_load(config1);
+  root_accel();
+  return 0;
+}
+)";
+}
+
+std::string face_sw_call_before_load() {
+  return R"(
+/* BUG: accelerator call before any configuration was downloaded. */
+int main() {
+  init_platform();
+  if (fast_path()) {
+    distance_accel();        /* nothing loaded on this path */
+  }
+  fpga_load(config1);
+  distance_accel();
+  return 0;
+}
+)";
+}
+
+std::string face_sw_scaled(int copies) {
+  std::ostringstream os;
+  os << "void frame_body() {\n"
+        "  capture_frame();\n"
+        "  bay_demosaic();\n"
+        "  erosion();\n"
+        "  fpga_load(config2);\n"
+        "  root_accel();\n"
+        "  edge_detect();\n"
+        "  fpga_load(config1);\n"
+        "  distance_accel();\n"
+        "  pick_winner();\n"
+        "}\n"
+        "int main() {\n"
+        "  init_platform();\n";
+  for (int i = 0; i < copies; ++i) {
+    os << "  if (mode" << i << "()) { frame_body(); } else { fpga_load(config2); "
+          "root_accel(); }\n";
+  }
+  os << "  return 0;\n}\n";
+  return os.str();
+}
+
+}  // namespace symbad::app

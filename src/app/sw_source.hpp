@@ -1,0 +1,38 @@
+#pragma once
+// The instrumented application software of the level-3 case study, as mini-C
+// source for SymbC (paper §3.3/§4.2: "Manual instrumentation of the SW code
+// has been performed, that is a specific configuration is loaded into the
+// FPGA before the functions that belongs to it are called" ... "the full
+// integrity of the design has been tested by application of SymbC").
+//
+// One correct program plus three seeded inconsistency bugs.
+
+#include <string>
+
+#include "symbc/checker.hpp"
+
+namespace symbad::app {
+
+/// The case study's configuration information: config1 hosts DISTANCE's
+/// accelerator entry points, config2 hosts ROOT's.
+[[nodiscard]] symbc::ConfigSpec face_config_spec();
+
+/// Correct instrumented SW: every accelerator call is preceded (on all
+/// paths) by the load of its context.
+[[nodiscard]] std::string face_sw_correct();
+
+/// BUG: a second call to the ROOT accelerator inside the frame loop executes
+/// after config1 has replaced config2.
+[[nodiscard]] std::string face_sw_missing_reload();
+
+/// BUG: the wrong context is loaded before the accelerator call.
+[[nodiscard]] std::string face_sw_wrong_context();
+
+/// BUG: an accelerator is invoked before any configuration has been loaded.
+[[nodiscard]] std::string face_sw_call_before_load();
+
+/// Synthetic scaling workload: `frames` copies of the correct per-frame body
+/// (used by the SymbC runtime-scaling benchmark).
+[[nodiscard]] std::string face_sw_scaled(int copies);
+
+}  // namespace symbad::app

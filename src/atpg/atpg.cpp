@@ -1,0 +1,234 @@
+#include "atpg/atpg.hpp"
+
+#include <algorithm>
+
+#include "rtl/cnf.hpp"
+#include "sat/solver.hpp"
+
+namespace symbad::atpg {
+
+media::Pose Stimulus::to_pose() const {
+  media::Pose pose;
+  pose.dx = dx;
+  pose.dy = dy;
+  pose.rot_deg = rot_deg;
+  pose.scale_q8 = scale_q8;
+  pose.light_offset = light_offset;
+  pose.noise_amp = noise_amp;
+  pose.noise_seed = noise_seed;
+  return pose;
+}
+
+Stimulus Stimulus::random(verif::Rng& rng, int identities) {
+  Stimulus s;
+  s.identity = static_cast<int>(rng.below(static_cast<std::uint64_t>(identities)));
+  s.dx = static_cast<int>(rng.range(-6, 6));
+  s.dy = static_cast<int>(rng.range(-6, 6));
+  s.rot_deg = static_cast<int>(rng.range(-12, 12));
+  s.scale_q8 = static_cast<int>(rng.range(216, 300));
+  s.light_offset = static_cast<int>(rng.range(-20, 25));
+  s.noise_amp = static_cast<int>(rng.range(0, 6));
+  s.noise_seed = rng.next();
+  return s;
+}
+
+Laerte::Laerte(Config config)
+    : config_{std::move(config)},
+      db_{media::FaceDatabase::enroll(config_.identities, config_.poses_per_identity,
+                                      config_.image_size, config_.pipeline)} {}
+
+media::RecognitionResult Laerte::run_frame(const Stimulus& s,
+                                           const media::PipelineConfig& cfg,
+                                           const verif::BitFault* fault,
+                                           media::FrontEndState* state) const {
+  const auto capture = media::camera_capture(
+      media::FaceParams::for_identity(s.identity), s.to_pose(), config_.image_size);
+  return media::recognize(capture, db_, cfg, nullptr, fault, state);
+}
+
+std::vector<verif::BitFault> Laerte::bit_fault_list() const {
+  // Stage-boundary outputs of interest: a deterministic word/bit sample per
+  // stage (the full cross product is enormous; Laerte++ samples too).
+  const char* stages[] = {media::stage::bay,     media::stage::erosion,
+                          media::stage::root,    media::stage::edge,
+                          media::stage::crtbord, media::stage::calcline};
+  std::vector<verif::BitFault> faults;
+  verif::Rng rng{0xB17FA117ULL};
+  const int words = config_.image_size * config_.image_size;
+  for (const char* stage_name : stages) {
+    for (int k = 0; k < config_.faults_per_stage; ++k) {
+      verif::BitFault f;
+      f.stage = stage_name;
+      f.port = verif::PortDirection::output;
+      f.word_index = static_cast<int>(rng.below(static_cast<std::uint64_t>(words)));
+      f.bit = static_cast<int>(rng.below(8));
+      f.stuck_to = (k & 1) != 0;
+      faults.push_back(std::move(f));
+    }
+  }
+  return faults;
+}
+
+Estimate Laerte::evaluate(const Testbench& tb, bool grade_bit_faults) {
+  Estimate estimate;
+  verif::CoverageDb cov;
+  {
+    verif::CoverageDb::Scope scope{cov};
+    for (const auto& s : tb.frames) (void)run_frame(s, config_.pipeline, nullptr, nullptr);
+  }
+  estimate.coverage = cov.report();
+  estimate.fitness = estimate.coverage.overall_percent();
+
+  if (grade_bit_faults) {
+    const auto faults = bit_fault_list();
+    estimate.bit_faults.total = faults.size();
+    for (const auto& fault : faults) {
+      for (const auto& s : tb.frames) {
+        const auto golden = run_frame(s, config_.pipeline, nullptr, nullptr);
+        const auto faulty = run_frame(s, config_.pipeline, &fault, nullptr);
+        const bool differs = golden.winner.index != faulty.winner.index ||
+                             golden.distances != faulty.distances ||
+                             golden.traces.features != faulty.traces.features;
+        if (differs) {
+          ++estimate.bit_faults.detected;
+          break;
+        }
+      }
+    }
+  }
+  return estimate;
+}
+
+Testbench Laerte::random_testbench(int frames, std::uint64_t seed) const {
+  verif::Rng rng{seed};
+  Testbench tb;
+  for (int i = 0; i < frames; ++i) {
+    tb.frames.push_back(Stimulus::random(rng, config_.identities));
+  }
+  return tb;
+}
+
+Testbench Laerte::genetic_testbench(int frames, int population, int generations,
+                                    std::uint64_t seed) {
+  verif::Rng rng{seed};
+  struct Individual {
+    Testbench tb;
+    double fitness = -1.0;
+  };
+  std::vector<Individual> pool;
+  for (int i = 0; i < population; ++i) {
+    pool.push_back(Individual{random_testbench(frames, rng.next()), -1.0});
+  }
+  auto fitness_of = [this](Testbench& tb) { return evaluate(tb).fitness; };
+  for (auto& ind : pool) ind.fitness = fitness_of(ind.tb);
+
+  auto tournament = [&]() -> const Individual& {
+    const auto& a = pool[static_cast<std::size_t>(rng.below(pool.size()))];
+    const auto& b = pool[static_cast<std::size_t>(rng.below(pool.size()))];
+    return a.fitness >= b.fitness ? a : b;
+  };
+
+  for (int gen = 0; gen < generations; ++gen) {
+    std::sort(pool.begin(), pool.end(),
+              [](const Individual& a, const Individual& b) { return a.fitness > b.fitness; });
+    std::vector<Individual> next;
+    next.push_back(pool.front());  // elitism
+    while (static_cast<int>(next.size()) < population) {
+      const Individual& pa = tournament();
+      const Individual& pb = tournament();
+      Individual child;
+      for (int f = 0; f < frames; ++f) {
+        const auto& src = (rng.next() & 1) != 0 ? pa : pb;
+        child.tb.frames.push_back(src.tb.frames[static_cast<std::size_t>(f)]);
+      }
+      // Mutation: perturb one field of one frame with high probability.
+      if (rng.chance(0.8)) {
+        auto& s = child.tb.frames[static_cast<std::size_t>(
+            rng.below(static_cast<std::uint64_t>(frames)))];
+        switch (rng.below(6)) {
+          case 0: s.identity = static_cast<int>(rng.below(
+                      static_cast<std::uint64_t>(config_.identities)));
+            break;
+          case 1: s.dx = static_cast<int>(rng.range(-8, 8)); break;
+          case 2: s.rot_deg = static_cast<int>(rng.range(-15, 15)); break;
+          case 3: s.light_offset = static_cast<int>(rng.range(-30, 30)); break;
+          case 4: s.noise_amp = static_cast<int>(rng.range(0, 8)); break;
+          default: s.noise_seed = rng.next(); break;
+        }
+      }
+      child.fitness = fitness_of(child.tb);
+      next.push_back(std::move(child));
+    }
+    pool = std::move(next);
+  }
+  std::sort(pool.begin(), pool.end(),
+            [](const Individual& a, const Individual& b) { return a.fitness > b.fitness; });
+  return pool.front().tb;
+}
+
+bool Laerte::detects_seeded_memory_bug(const Testbench& tb) const {
+  media::PipelineConfig buggy = config_.pipeline;
+  buggy.seeded_memory_bug = true;
+  media::FrontEndState state;
+  for (const auto& s : tb.frames) {
+    const auto golden = run_frame(s, config_.pipeline, nullptr, nullptr);
+    const auto faulty = run_frame(s, buggy, nullptr, &state);
+    if (golden.traces.window != faulty.traces.window ||
+        golden.winner.index != faulty.winner.index) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// -------------------------------------------------------- SAT engine
+
+std::optional<SatTest> sat_generate_test(const rtl::Netlist& netlist, rtl::Net fault_net,
+                                         bool stuck_to, int unroll) {
+  sat::Solver solver;
+  rtl::CnfEncoder encoder{netlist, solver};
+  const std::map<rtl::Net, bool> faults{{fault_net, stuck_to}};
+
+  std::vector<rtl::Frame> good;
+  std::vector<rtl::Frame> bad;
+  std::vector<sat::Lit> diffs;
+  for (int f = 0; f < unroll; ++f) {
+    rtl::CnfEncoder::Options good_opts;
+    good_opts.state = f == 0 ? rtl::StateInit::reset : rtl::StateInit::chained;
+    if (f > 0) good_opts.previous = &good.back();
+    good.push_back(encoder.encode(good_opts));
+
+    std::vector<sat::Lit> shared;
+    for (const rtl::Net in : netlist.inputs()) shared.push_back(good.back().lit(in));
+    rtl::CnfEncoder::Options bad_opts;
+    bad_opts.state = f == 0 ? rtl::StateInit::reset : rtl::StateInit::chained;
+    if (f > 0) bad_opts.previous = &bad.back();
+    bad_opts.shared_inputs = &shared;
+    bad_opts.faults = &faults;
+    bad.push_back(encoder.encode(bad_opts));
+
+    for (const auto& [name, net] : netlist.outputs()) {
+      const sat::Lit g = good.back().lit(net);
+      const sat::Lit b = bad.back().lit(net);
+      const sat::Lit d = sat::Lit::positive(solver.new_var());
+      solver.add_ternary(~d, g, b);
+      solver.add_ternary(~d, ~g, ~b);
+      diffs.push_back(d);
+    }
+  }
+  if (!solver.add_clause(diffs)) return std::nullopt;
+  if (solver.solve() != sat::Result::sat) return std::nullopt;
+
+  SatTest test;
+  for (int f = 0; f < unroll; ++f) {
+    std::map<std::string, bool> frame_inputs;
+    for (const rtl::Net in : netlist.inputs()) {
+      const sat::Lit l = good[static_cast<std::size_t>(f)].lit(in);
+      frame_inputs[netlist.net_name(in)] = solver.model_value(l.var()) != l.negated();
+    }
+    test.frames.push_back(std::move(frame_inputs));
+  }
+  return test;
+}
+
+}  // namespace symbad::atpg

@@ -1,0 +1,112 @@
+#pragma once
+// Laerte++-style ATPG for the behavioural (level-1) model, plus SAT-based
+// test generation for RTL blocks (paper §3.1, refs [5][6]).
+//
+// "The test pattern generator exploits both simulation-based techniques
+// (e.g., genetic algorithms) and formal-based ones (e.g., SAT solvers).
+// Coverage measures are based on standard metrics (statement, condition and
+// branch coverage) and on the more accurate bit-coverage metric."
+//
+//  * `Laerte::evaluate`      — coverage estimation of a testbench, with
+//    optional bit-coverage fault grading at the pipeline stage boundaries.
+//  * `Laerte::random_testbench` / `genetic_testbench` — the two
+//    simulation-based engines.
+//  * `sat_generate_test`     — formal engine: stuck-at test generation on a
+//    gate netlist via a miter (shared-input good/faulty unrolling).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "media/database.hpp"
+#include "media/face_gen.hpp"
+#include "media/pipeline.hpp"
+#include "rtl/netlist.hpp"
+#include "verif/coverage.hpp"
+#include "verif/fault.hpp"
+#include "verif/rng.hpp"
+
+namespace symbad::atpg {
+
+/// One stimulus frame: the acquisition parameters of a captured face.
+struct Stimulus {
+  int identity = 0;
+  int dx = 0;
+  int dy = 0;
+  int rot_deg = 0;
+  int scale_q8 = 256;
+  int light_offset = 0;
+  int noise_amp = 2;
+  std::uint64_t noise_seed = 1;
+
+  [[nodiscard]] media::Pose to_pose() const;
+  [[nodiscard]] static Stimulus random(verif::Rng& rng, int identities);
+};
+
+struct Testbench {
+  std::vector<Stimulus> frames;
+};
+
+/// Result of grading a testbench.
+struct Estimate {
+  verif::CoverageReport coverage;
+  verif::FaultGrade bit_faults;  ///< populated when fault grading requested
+  double fitness = 0.0;          ///< the GA's objective (overall coverage %)
+};
+
+class Laerte {
+public:
+  struct Config {
+    int identities = 8;
+    int poses_per_identity = 3;
+    int image_size = 64;
+    media::PipelineConfig pipeline{};
+    /// Bit faults sampled per stage boundary for fault grading.
+    int faults_per_stage = 12;
+  };
+
+  explicit Laerte(Config config);
+
+  /// Coverage estimation (and optional bit-coverage grading) of a testbench.
+  [[nodiscard]] Estimate evaluate(const Testbench& tb, bool grade_bit_faults = false);
+
+  /// Simulation-based engine 1: random stimuli.
+  [[nodiscard]] Testbench random_testbench(int frames, std::uint64_t seed) const;
+  /// Simulation-based engine 2: genetic optimisation of coverage.
+  [[nodiscard]] Testbench genetic_testbench(int frames, int population, int generations,
+                                            std::uint64_t seed);
+
+  /// The sampled bit-coverage fault list (stage-boundary stuck-at faults).
+  [[nodiscard]] std::vector<verif::BitFault> bit_fault_list() const;
+
+  /// Laerte++'s memory-inspection result, reproduced as a dynamic check:
+  /// does `tb` expose the seeded uninitialised-window bug (different
+  /// observable outputs between the clean and the buggy pipeline)?
+  [[nodiscard]] bool detects_seeded_memory_bug(const Testbench& tb) const;
+
+  [[nodiscard]] const media::FaceDatabase& database() const noexcept { return db_; }
+
+private:
+  [[nodiscard]] media::RecognitionResult run_frame(const Stimulus& s,
+                                                   const media::PipelineConfig& cfg,
+                                                   const verif::BitFault* fault,
+                                                   media::FrontEndState* state) const;
+
+  Config config_;
+  media::FaceDatabase db_;
+};
+
+/// Formal engine: SAT test generation for one stuck-at fault on `netlist`.
+/// Unrolls `unroll` frames of a good and a faulty copy sharing inputs and
+/// asks for any output difference. Returns per-frame input assignments, or
+/// nullopt when the fault is undetectable within the unrolling.
+struct SatTest {
+  std::vector<std::map<std::string, bool>> frames;  ///< input name -> value
+};
+[[nodiscard]] std::optional<SatTest> sat_generate_test(const rtl::Netlist& netlist,
+                                                       rtl::Net fault_net, bool stuck_to,
+                                                       int unroll = 4);
+
+}  // namespace symbad::atpg

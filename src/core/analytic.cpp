@@ -1,0 +1,85 @@
+#include "core/analytic.hpp"
+
+#include <algorithm>
+
+namespace symbad::core {
+
+Grade AnalyticModel::grade(const TaskGraph& graph, const Partition& partition,
+                           std::uint64_t reconfigs_per_frame) const {
+  partition.validate(graph);
+  Grade g;
+
+  // --- per-resource busy time per frame --------------------------------
+  const double cpu_hz = params_.cpu.clock_hz;
+  const double bus_hz = params_.bus_hz;
+  const double fabric_hz = params_.fpga.fabric_clock_hz;
+
+  double cpu_s = 0.0;
+  double hw_s = 0.0;     // max over hardwired blocks (they run in parallel)
+  double fpga_s = 0.0;   // fabric is a single serial resource
+  double hw_area = 0.0;
+  double fpga_area = 0.0;
+  std::map<std::string, double> context_area;
+
+  for (const auto& node : graph.tasks()) {
+    const double ops = static_cast<double>(node.ops_per_frame);
+    switch (partition.mapping_of(node.name)) {
+      case Mapping::software:
+        cpu_s += ops * params_.cpu.cycles_per_op / cpu_hz;
+        break;
+      case Mapping::hardware: {
+        hw_s = std::max(hw_s, ops / params_.hw_ops_per_cycle / bus_hz);
+        hw_area += cost_.hw_area_base + cost_.hw_area_per_kop * ops / 1000.0;
+        break;
+      }
+      case Mapping::fpga: {
+        fpga_s += ops / params_.fpga.ops_per_cycle / fabric_hz;
+        context_area[partition.context_of(node.name)] +=
+            cost_.hw_area_base + cost_.hw_area_per_kop * ops / 1000.0;
+        break;
+      }
+    }
+  }
+  for (const auto& [name, area] : context_area) fpga_area = std::max(fpga_area, area);
+  if (!context_area.empty()) fpga_area += cost_.fpga_fabric_overhead_area;
+
+  // --- bus time per frame ----------------------------------------------
+  std::uint64_t bus_words = 0;
+  for (const auto& edge : graph.channels()) {
+    if (partition.crosses_boundary(edge)) {
+      bus_words += 2ull * edge.words_per_frame;  // producer write + consumer read
+    }
+  }
+  g.reconfig_words_per_frame = reconfigs_per_frame * params_.default_bitstream_words;
+  bus_words += g.reconfig_words_per_frame;
+  const double bus_s = static_cast<double>(bus_words) / bus_hz;
+  const double reconfig_program_s =
+      static_cast<double>(reconfigs_per_frame) *
+      params_.fpga.programming_time.to_seconds();
+
+  // --- throughput: pipelined across frames, bottleneck resource ---------
+  // CPU time includes orchestration of FPGA stages (SW initiates them), so
+  // fabric time + reconfigure time serialises with the CPU.
+  const double cpu_resource_s = cpu_s + fpga_s + reconfig_program_s;
+  const double bottleneck_s =
+      std::max({cpu_resource_s, hw_s, bus_s, 1e-12});
+  g.frames_per_second = 1.0 / bottleneck_s;
+  g.bus_load = std::min(1.0, bus_s / bottleneck_s);
+  g.cpu_load = std::min(1.0, cpu_resource_s / bottleneck_s);
+
+  // --- area --------------------------------------------------------------
+  g.area_units = cost_.cpu_area_units + hw_area + fpga_area;
+
+  // --- power --------------------------------------------------------------
+  const double cpu_power = cost_.cpu_idle_power_mw +
+                           (cost_.cpu_active_power_mw - cost_.cpu_idle_power_mw) * g.cpu_load;
+  const double hw_power = hw_area * cost_.hw_power_per_area_mw;
+  const double fpga_power = fpga_area * cost_.fpga_power_per_area_mw;
+  const double bus_power =
+      static_cast<double>(bus_words) * cost_.bus_energy_per_beat_nj * 1e-9 *
+      g.frames_per_second * 1e3;  // nJ/frame * frames/s -> mW
+  g.power_mw = cpu_power + hw_power + fpga_power + bus_power;
+  return g;
+}
+
+}  // namespace symbad::core

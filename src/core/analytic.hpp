@@ -1,0 +1,64 @@
+#pragma once
+// Analytic grading of candidate architectures (flow step: "a single
+// configuration must be graded according to performance, silicon usage,
+// power consumption"). Fast closed-form estimates drive the architecture
+// explorer; the short-listed candidates are then confirmed by simulation
+// (SystemModel).
+
+#include <cstdint>
+#include <string>
+
+#include "core/partition.hpp"
+#include "core/system_model.hpp"
+#include "core/task_graph.hpp"
+
+namespace symbad::core {
+
+/// The three grading axes plus supporting detail.
+struct Grade {
+  double frames_per_second = 0.0;
+  double area_units = 0.0;
+  double power_mw = 0.0;
+  double bus_load = 0.0;
+  double cpu_load = 0.0;
+  std::uint64_t reconfig_words_per_frame = 0;
+
+  /// Scalarised figure of merit (higher is better): throughput per unit of
+  /// (area x power), the trade-off the explorer optimises by default.
+  [[nodiscard]] double merit() const noexcept {
+    const double cost = (1.0 + area_units / 1000.0) * (1.0 + power_mw / 100.0);
+    return frames_per_second / cost;
+  }
+};
+
+/// Cost coefficients for the grading model.
+struct CostModel {
+  double cpu_active_power_mw = 45.0;
+  double cpu_idle_power_mw = 8.0;
+  double hw_power_per_area_mw = 0.02;
+  double fpga_power_per_area_mw = 0.05;   ///< fabric is less efficient
+  double bus_energy_per_beat_nj = 1.2;
+  double cpu_area_units = 1200.0;
+  double fpga_fabric_overhead_area = 400.0;
+  double hw_area_base = 200.0;
+  double hw_area_per_kop = 1.0;
+};
+
+class AnalyticModel {
+public:
+  AnalyticModel(PlatformParams params, CostModel cost = {})
+      : params_{std::move(params)}, cost_{cost} {}
+
+  /// Closed-form grade of (graph, partition). `reconfigs_per_frame` is the
+  /// steady-state context-switch count the schedule incurs.
+  [[nodiscard]] Grade grade(const TaskGraph& graph, const Partition& partition,
+                            std::uint64_t reconfigs_per_frame = 0) const;
+
+  [[nodiscard]] const PlatformParams& params() const noexcept { return params_; }
+
+private:
+  PlatformParams params_;
+  CostModel cost_;
+};
+
+}  // namespace symbad::core

@@ -1,0 +1,120 @@
+#include "core/explorer.hpp"
+
+#include <algorithm>
+
+namespace symbad::core {
+
+namespace {
+
+bool is_pinned(const std::vector<std::string>& pinned, const std::string& task) {
+  return std::find(pinned.begin(), pinned.end(), task) != pinned.end();
+}
+
+std::string label_for(const Partition& partition, const TaskGraph& graph) {
+  std::string label;
+  for (const auto& t : graph.topological_order()) {
+    const Mapping m = partition.mapping_of(t);
+    if (m == Mapping::software) continue;
+    if (!label.empty()) label += "+";
+    label += t;
+    if (m == Mapping::fpga) label += "@" + partition.context_of(t);
+  }
+  return label.empty() ? "all-SW" : label;
+}
+
+}  // namespace
+
+std::vector<DesignPoint> Explorer::explore() const {
+  // Movable tasks sorted heaviest-first (the designer's profiling ranking).
+  std::vector<std::string> movable;
+  for (const auto& node : graph_->tasks()) {
+    if (!is_pinned(options_.pinned_software, node.name)) movable.push_back(node.name);
+  }
+  std::sort(movable.begin(), movable.end(), [this](const auto& a, const auto& b) {
+    return graph_->task(a).ops_per_frame > graph_->task(b).ops_per_frame;
+  });
+
+  std::vector<DesignPoint> points;
+  const auto n = movable.size();
+  const std::uint64_t combos = std::uint64_t{1} << std::min<std::size_t>(n, 16);
+  for (std::uint64_t mask = 0; mask < combos; ++mask) {
+    std::vector<std::string> hw_tasks;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) hw_tasks.push_back(movable[i]);
+    }
+    if (static_cast<int>(hw_tasks.size()) > options_.max_hw_tasks) continue;
+
+    // Candidate A: all selected tasks hardwired.
+    {
+      Partition p = Partition::all_software(*graph_);
+      for (const auto& t : hw_tasks) p.bind_hardware(t);
+      DesignPoint point;
+      point.grade = model_.grade(*graph_, p, 0);
+      point.label = label_for(p, *graph_);
+      point.partition = std::move(p);
+      points.push_back(std::move(point));
+    }
+
+    // Candidate B: same selection on the reconfigurable fabric, tasks
+    // distributed round-robin (heaviest first) over the contexts. In the
+    // worst-case schedule every context is visited once per frame.
+    if (options_.explore_fpga_variants && !hw_tasks.empty()) {
+      Partition p = Partition::all_software(*graph_);
+      const int contexts = std::max(1, std::min<int>(options_.fpga_contexts,
+                                                     static_cast<int>(hw_tasks.size())));
+      for (std::size_t i = 0; i < hw_tasks.size(); ++i) {
+        p.bind_fpga(hw_tasks[i],
+                    "config" + std::to_string(static_cast<int>(i) % contexts + 1));
+      }
+      const auto used_contexts = p.contexts().size();
+      DesignPoint point;
+      point.reconfigs_per_frame = used_contexts > 1 ? used_contexts : 0;
+      point.grade = model_.grade(*graph_, p, point.reconfigs_per_frame);
+      point.label = label_for(p, *graph_);
+      point.partition = std::move(p);
+      points.push_back(std::move(point));
+    }
+  }
+
+  std::sort(points.begin(), points.end(), [](const DesignPoint& a, const DesignPoint& b) {
+    return a.grade.merit() > b.grade.merit();
+  });
+  return points;
+}
+
+std::vector<DesignPoint> Explorer::pareto_front(const std::vector<DesignPoint>& points) {
+  std::vector<DesignPoint> front;
+  for (const auto& candidate : points) {
+    bool dominated = false;
+    for (const auto& other : points) {
+      const bool geq = other.grade.frames_per_second >= candidate.grade.frames_per_second &&
+                       other.grade.area_units <= candidate.grade.area_units &&
+                       other.grade.power_mw <= candidate.grade.power_mw;
+      const bool strictly =
+          other.grade.frames_per_second > candidate.grade.frames_per_second ||
+          other.grade.area_units < candidate.grade.area_units ||
+          other.grade.power_mw < candidate.grade.power_mw;
+      if (geq && strictly) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(candidate);
+  }
+  return front;
+}
+
+const DesignPoint* Explorer::best_under(const std::vector<DesignPoint>& points,
+                                        double min_fps, double max_area,
+                                        double max_power_mw) {
+  const DesignPoint* best = nullptr;
+  for (const auto& p : points) {
+    if (min_fps > 0.0 && p.grade.frames_per_second < min_fps) continue;
+    if (max_area > 0.0 && p.grade.area_units > max_area) continue;
+    if (max_power_mw > 0.0 && p.grade.power_mw > max_power_mw) continue;
+    if (best == nullptr || p.grade.merit() > best->grade.merit()) best = &p;
+  }
+  return best;
+}
+
+}  // namespace symbad::core

@@ -1,0 +1,61 @@
+#pragma once
+// Architecture exploration (flow steps II-III-IV iterations): enumerate
+// candidate HW/SW partitions (optionally refining HW into FPGA contexts),
+// grade each analytically, and report the Pareto front over
+// (performance, silicon, power).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/analytic.hpp"
+#include "core/partition.hpp"
+#include "core/task_graph.hpp"
+
+namespace symbad::core {
+
+/// One explored design point.
+struct DesignPoint {
+  Partition partition;
+  Grade grade;
+  std::string label;
+  std::uint64_t reconfigs_per_frame = 0;
+};
+
+class Explorer {
+public:
+  struct Options {
+    /// Tasks that must stay in software (e.g. I/O, control).
+    std::vector<std::string> pinned_software;
+    /// Maximum number of tasks moved to hardware per candidate.
+    int max_hw_tasks = 4;
+    /// Also derive FPGA variants (each HW subset additionally evaluated
+    /// with its heaviest tasks moved onto the reconfigurable fabric).
+    bool explore_fpga_variants = true;
+    /// Number of FPGA contexts to split soft-HW tasks across.
+    int fpga_contexts = 2;
+  };
+
+  Explorer(const TaskGraph& graph, AnalyticModel model, Options options)
+      : graph_{&graph}, model_{std::move(model)}, options_{std::move(options)} {}
+
+  /// Enumerates and grades candidates; returns all evaluated points sorted
+  /// by descending merit.
+  [[nodiscard]] std::vector<DesignPoint> explore() const;
+
+  /// Subset of `points` not dominated on (fps, -area, -power).
+  [[nodiscard]] static std::vector<DesignPoint> pareto_front(
+      const std::vector<DesignPoint>& points);
+
+  /// The best point under explicit constraints (0 = unconstrained).
+  [[nodiscard]] static const DesignPoint* best_under(
+      const std::vector<DesignPoint>& points, double min_fps, double max_area,
+      double max_power_mw);
+
+private:
+  const TaskGraph* graph_;
+  AnalyticModel model_;
+  Options options_;
+};
+
+}  // namespace symbad::core

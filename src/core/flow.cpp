@@ -1,0 +1,81 @@
+#include "core/flow.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace symbad::core {
+
+std::string FlowReport::to_string() const {
+  std::ostringstream os;
+  for (const auto& level : levels) {
+    os << "level " << level.level << ": ";
+    if (level.level == 1) {
+      os << level.performance.kernel_callbacks << " callbacks";
+    } else {
+      os << level.performance.frames_per_second << " frames/s, bus load "
+         << level.performance.bus_load * 100.0 << "%";
+      if (level.performance.reconfigurations > 0) {
+        os << ", " << level.performance.reconfigurations << " reconfigs";
+      }
+    }
+    os << (level.trace_matches_previous ? ", trace OK" : ", TRACE MISMATCH");
+    for (const auto& v : level.verification) {
+      os << "\n  [" << v.technology << "] " << (v.passed ? "PASS " : "FAIL ")
+         << v.summary;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void FlowDriver::add_verification(int level, VerificationHook hook) {
+  if (level < 1 || level > 3) {
+    throw std::invalid_argument{"flow: verification hooks attach to levels 1..3"};
+  }
+  hooks_.emplace_back(level, std::move(hook));
+}
+
+LevelReport FlowDriver::run_level(int level, const Partition& partition,
+                                  ModelLevel model_level,
+                                  const sim::Trace* previous_trace) {
+  LevelReport report;
+  report.level = level;
+  SystemModel model{graph_, partition, *runtime_, config_.platform, model_level};
+  report.performance = model.run(config_.frames);
+  if (previous_trace != nullptr) {
+    report.trace_matches_previous =
+        sim::Trace::data_equal(*previous_trace, report.performance.trace);
+  }
+  for (const auto& [hook_level, hook] : hooks_) {
+    if (hook_level == level) {
+      report.verification.push_back(hook(graph_, partition));
+    }
+  }
+  return report;
+}
+
+FlowReport FlowDriver::run(int up_to_level) {
+  if (up_to_level < 1 || up_to_level > 3) {
+    throw std::invalid_argument{"flow: up_to_level must be 1..3"};
+  }
+  FlowReport flow;
+
+  const Partition all_sw = Partition::all_software(graph_);
+  flow.levels.push_back(
+      run_level(1, all_sw, ModelLevel::untimed_functional, nullptr));
+  if (up_to_level == 1) return flow;
+
+  const Partition& p2 = level2_.has_value() ? *level2_ : all_sw;
+  flow.levels.push_back(run_level(2, p2, ModelLevel::timed_platform,
+                                  &flow.levels.back().performance.trace));
+  if (up_to_level == 2) return flow;
+
+  if (!level3_.has_value()) {
+    throw std::logic_error{"flow: level 3 requested but no level-3 partition set"};
+  }
+  flow.levels.push_back(run_level(3, *level3_, ModelLevel::reconfigurable,
+                                  &flow.levels.back().performance.trace));
+  return flow;
+}
+
+}  // namespace symbad::core

@@ -1,0 +1,105 @@
+#pragma once
+// The Symbad flow driver: Figure 1 as an executable library API.
+//
+// A `FlowDriver` owns the design description and walks it through the four
+// refinement levels, running the executable model of each level, checking
+// trace consistency against the previous level, and invoking the
+// verification technologies registered for each level. The verification
+// tools themselves live in their own libraries (atpg/lpv/symbc/mc/pcc); the
+// driver receives them as callbacks so that `core` stays dependency-light
+// and applications can plug in exactly the cascade the paper describes —
+// or a subset.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "core/system_model.hpp"
+#include "core/task_graph.hpp"
+
+namespace symbad::core {
+
+/// Outcome of one verification activity at one level.
+struct VerificationOutcome {
+  std::string technology;  ///< "ATPG", "LPV", "SymbC", "MC", "PCC", ...
+  std::string summary;     ///< human-readable result line
+  bool passed = false;
+};
+
+/// A verification activity: runs against the current graph/partition and
+/// reports. Registered per level.
+using VerificationHook =
+    std::function<VerificationOutcome(const TaskGraph&, const Partition&)>;
+
+/// Report for one refinement level.
+struct LevelReport {
+  int level = 0;
+  PerformanceReport performance;
+  bool trace_matches_previous = true;  ///< vacuously true for level 1
+  std::vector<VerificationOutcome> verification;
+
+  [[nodiscard]] bool all_passed() const noexcept {
+    for (const auto& v : verification) {
+      if (!v.passed) return false;
+    }
+    return trace_matches_previous;
+  }
+};
+
+/// Full flow report (levels actually run).
+struct FlowReport {
+  std::vector<LevelReport> levels;
+
+  [[nodiscard]] bool clean() const noexcept {
+    for (const auto& l : levels) {
+      if (!l.all_passed()) return false;
+    }
+    return !levels.empty();
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Drives a design through levels 1-3 (level 4, RTL, is per-module and
+/// handled by mc/pcc directly — see the face_recognition_flow example).
+class FlowDriver {
+public:
+  struct Config {
+    PlatformParams platform{};
+    int frames = 4;
+  };
+
+  FlowDriver(TaskGraph graph, StageRuntime& runtime, Config config)
+      : graph_{std::move(graph)}, runtime_{&runtime}, config_{std::move(config)} {}
+
+  /// Registers a verification hook for a level (1, 2 or 3).
+  void add_verification(int level, VerificationHook hook);
+
+  /// Sets the level-2 partition (default: all software).
+  void set_level2_partition(Partition partition) { level2_ = std::move(partition); }
+  /// Sets the level-3 partition (must contain FPGA bindings).
+  void set_level3_partition(Partition partition) { level3_ = std::move(partition); }
+
+  /// Runs level 1..`up_to_level` (1..3), checking traces between levels.
+  [[nodiscard]] FlowReport run(int up_to_level = 3);
+
+  [[nodiscard]] const TaskGraph& graph() const noexcept { return graph_; }
+  /// Re-annotates the graph's op counts (profiling refresh between
+  /// exploration iterations, flow steps II-III-IV).
+  void set_ops(const std::string& task, std::uint64_t ops) { graph_.set_ops(task, ops); }
+
+private:
+  [[nodiscard]] LevelReport run_level(int level, const Partition& partition,
+                                      ModelLevel model_level,
+                                      const sim::Trace* previous_trace);
+
+  TaskGraph graph_;
+  StageRuntime* runtime_;
+  Config config_;
+  std::optional<Partition> level2_;
+  std::optional<Partition> level3_;
+  std::vector<std::pair<int, VerificationHook>> hooks_;
+};
+
+}  // namespace symbad::core

@@ -1,0 +1,19 @@
+#include "core/partition.hpp"
+
+#include <sstream>
+
+namespace symbad::core {
+
+std::string Partition::describe() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [task, binding] : bindings_) {
+    if (!first) os << ", ";
+    first = false;
+    os << task << ":" << to_string(binding.mapping);
+    if (binding.mapping == Mapping::fpga) os << "(" << binding.context << ")";
+  }
+  return os.str();
+}
+
+}  // namespace symbad::core

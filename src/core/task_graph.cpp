@@ -1,0 +1,98 @@
+#include "core/task_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace symbad::core {
+
+void TaskGraph::add_task(const std::string& name, std::uint64_t ops_per_frame) {
+  if (index_.contains(name)) {
+    throw std::invalid_argument{"task_graph: duplicate task '" + name + "'"};
+  }
+  index_.emplace(name, tasks_.size());
+  tasks_.push_back(TaskNode{name, ops_per_frame});
+}
+
+void TaskGraph::add_channel(const std::string& from, const std::string& to,
+                            std::uint32_t words_per_frame, std::size_t fifo_capacity) {
+  if (!has_task(from)) throw std::invalid_argument{"task_graph: unknown task '" + from + "'"};
+  if (!has_task(to)) throw std::invalid_argument{"task_graph: unknown task '" + to + "'"};
+  if (fifo_capacity == 0) throw std::invalid_argument{"task_graph: zero fifo capacity"};
+  channels_.push_back(ChannelEdge{from, to, words_per_frame, fifo_capacity});
+}
+
+const TaskNode& TaskGraph::task(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) throw std::out_of_range{"task_graph: unknown task '" + name + "'"};
+  return tasks_[it->second];
+}
+
+void TaskGraph::set_ops(const std::string& name, std::uint64_t ops_per_frame) {
+  const auto it = index_.find(name);
+  if (it == index_.end()) throw std::out_of_range{"task_graph: unknown task '" + name + "'"};
+  tasks_[it->second].ops_per_frame = ops_per_frame;
+}
+
+std::uint64_t TaskGraph::total_ops() const noexcept {
+  std::uint64_t t = 0;
+  for (const auto& n : tasks_) t += n.ops_per_frame;
+  return t;
+}
+
+std::vector<std::string> TaskGraph::predecessors(const std::string& name) const {
+  std::vector<std::string> out;
+  for (const auto& c : channels_) {
+    if (c.to == name) out.push_back(c.from);
+  }
+  return out;
+}
+
+std::vector<std::string> TaskGraph::successors(const std::string& name) const {
+  std::vector<std::string> out;
+  for (const auto& c : channels_) {
+    if (c.from == name) out.push_back(c.to);
+  }
+  return out;
+}
+
+std::vector<std::string> TaskGraph::sources() const {
+  std::vector<std::string> out;
+  for (const auto& n : tasks_) {
+    if (predecessors(n.name).empty()) out.push_back(n.name);
+  }
+  return out;
+}
+
+std::vector<std::string> TaskGraph::sinks() const {
+  std::vector<std::string> out;
+  for (const auto& n : tasks_) {
+    if (successors(n.name).empty()) out.push_back(n.name);
+  }
+  return out;
+}
+
+std::vector<std::string> TaskGraph::topological_order() const {
+  std::map<std::string, int> in_degree;
+  for (const auto& n : tasks_) in_degree[n.name] = 0;
+  for (const auto& c : channels_) ++in_degree[c.to];
+
+  std::deque<std::string> ready;
+  for (const auto& n : tasks_) {
+    if (in_degree[n.name] == 0) ready.push_back(n.name);
+  }
+  std::vector<std::string> order;
+  while (!ready.empty()) {
+    const std::string t = ready.front();
+    ready.pop_front();
+    order.push_back(t);
+    for (const auto& s : successors(t)) {
+      if (--in_degree[s] == 0) ready.push_back(s);
+    }
+  }
+  if (order.size() != tasks_.size()) {
+    throw std::logic_error{"task_graph: cycle detected"};
+  }
+  return order;
+}
+
+}  // namespace symbad::core

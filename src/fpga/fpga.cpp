@@ -1,0 +1,94 @@
+#include "fpga/fpga.hpp"
+
+#include <stdexcept>
+
+namespace symbad::fpga {
+
+FpgaDevice::FpgaDevice(sim::Kernel& kernel, std::string name,
+                       std::vector<ContextConfig> contexts, tlm::Bus& bus, Config config)
+    : Module{kernel, std::move(name)},
+      contexts_{std::move(contexts)},
+      bus_{&bus},
+      config_{config},
+      fabric_period_{sim::Time::period_of_hz(config.fabric_clock_hz)} {
+  if (contexts_.empty()) {
+    throw std::invalid_argument{"fpga: at least one context required"};
+  }
+  for (std::size_t i = 0; i < contexts_.size(); ++i) {
+    for (std::size_t j = i + 1; j < contexts_.size(); ++j) {
+      if (contexts_[i].name == contexts_[j].name) {
+        throw std::invalid_argument{"fpga: duplicate context name '" +
+                                    contexts_[i].name + "'"};
+      }
+    }
+  }
+}
+
+const ContextConfig& FpgaDevice::context(const std::string& name) const {
+  for (const auto& c : contexts_) {
+    if (c.name == name) return c;
+  }
+  throw std::out_of_range{"fpga: unknown context '" + name + "'"};
+}
+
+bool FpgaDevice::function_available(const std::string& fn) const {
+  if (current_.empty()) return false;
+  return context(current_).implements(fn);
+}
+
+sim::Time FpgaDevice::function_time(std::uint64_t ops) const {
+  const double cycles = static_cast<double>(ops) / config_.ops_per_cycle;
+  return sim::Time::cycles(static_cast<std::int64_t>(cycles) + 1, fabric_period_);
+}
+
+sim::Task<void> FpgaDevice::load_context(const std::string& context_name) {
+  const ContextConfig& ctx = context(context_name);  // validates the name
+  if (current_ == context_name) co_return;           // already resident
+
+  const sim::Time start = kernel().now();
+  // The fabric is dark while a new bitstream is streamed in.
+  current_.clear();
+  // Bitstream download: burst reads from the bitstream store through the
+  // system bus — this is precisely the "downloading of bit streams through
+  // the bus" whose cost level 3 exists to evaluate. The configuration port
+  // accepts only short bursts, so a download is many small transactions;
+  // this detail is also why level-3 simulation runs markedly slower than
+  // level 2 (the paper's 200 kHz -> 30 kHz drop).
+  constexpr std::uint32_t kMaxBurst = 4;
+  std::uint32_t remaining = ctx.bitstream_words;
+  std::uint64_t address = config_.bitstream_base;
+  while (remaining > 0) {
+    const std::uint32_t beats = remaining < kMaxBurst ? remaining : kMaxBurst;
+    co_await bus_->transport(
+        tlm::Payload{tlm::Command::read, address, beats, name().c_str()});
+    address += beats * 4ull;
+    remaining -= beats;
+  }
+  co_await kernel().wait(config_.programming_time);
+  current_ = context_name;
+  ++reconfigurations_;
+  reconfig_time_ += kernel().now() - start;
+}
+
+sim::Task<void> FpgaDevice::run_function(const std::string& fn, std::uint64_t ops) {
+  if (!function_available(fn)) {
+    const ConsistencyViolation violation{
+        kernel().now(), fn, current_.empty() ? std::string{"<none>"} : current_};
+    violations_.push_back(violation);
+    if (config_.trap_on_violation) {
+      throw std::runtime_error{"fpga '" + name() + "': function '" + fn +
+                               "' invoked while context '" + violation.loaded_context +
+                               "' is loaded"};
+    }
+    // Degraded behaviour: the call limps along at software-emulation speed
+    // (x32 the fabric time) — observable as a performance cliff.
+    co_await kernel().wait(function_time(ops) * 32);
+    co_return;
+  }
+  const sim::Time t = function_time(ops);
+  compute_time_ += t;
+  ++functions_executed_;
+  co_await kernel().wait(t);
+}
+
+}  // namespace symbad::fpga

@@ -1,0 +1,114 @@
+#pragma once
+// Embedded-FPGA model with run-time reconfigurable contexts (paper §3.3).
+//
+// "The characteristics of the reconfigurable hardware consist in a set of
+// FPGA configurations which can be changed by the software at run-time.
+// Each configuration contains a fixed set of computing resources."
+//
+// The model captures exactly what level 3 needs:
+//  * a set of contexts, each naming the functions it implements, its
+//    bitstream size and an area estimate;
+//  * `load_context`, which downloads the bitstream *through the system bus*
+//    (so reconfiguration shows up as bus loading) and then programs the
+//    fabric;
+//  * `run_function`, which executes an accelerated function — and records a
+//    consistency violation if the function is absent from the currently
+//    loaded context (the property SymbC proves statically).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/module.hpp"
+#include "tlm/bus.hpp"
+
+namespace symbad::fpga {
+
+/// One reconfigurable context ("config1", "config2", ... in the paper).
+struct ContextConfig {
+  std::string name;
+  std::vector<std::string> functions;  ///< functions available when loaded
+  std::uint32_t bitstream_words = 4096;  ///< download size in bus beats
+  double area_units = 1000.0;           ///< fabric area this context occupies
+
+  [[nodiscard]] bool implements(const std::string& fn) const {
+    for (const auto& f : functions) {
+      if (f == fn) return true;
+    }
+    return false;
+  }
+};
+
+/// A recorded violation of the reconfiguration-consistency property.
+struct ConsistencyViolation {
+  sim::Time at;
+  std::string function;
+  std::string loaded_context;  ///< "<none>" when nothing loaded
+};
+
+class FpgaDevice : public sim::Module {
+public:
+  struct Config {
+    double fabric_clock_hz = 25e6;
+    /// Speed-up of a function on fabric relative to 1 op/cycle software.
+    double ops_per_cycle = 8.0;
+    /// Fabric programming time after the bitstream arrives.
+    sim::Time programming_time = sim::Time::us(20);
+    /// Bus address window where bitstreams are stored (flash).
+    std::uint64_t bitstream_base = 0x4000'0000;
+    /// Abort simulation on a consistency violation instead of recording it.
+    bool trap_on_violation = false;
+  };
+
+  FpgaDevice(sim::Kernel& kernel, std::string name, std::vector<ContextConfig> contexts,
+             tlm::Bus& bus, Config config);
+
+  // ------------------------------------------------------ reconfiguration
+  /// Downloads `context`'s bitstream over the bus and programs the fabric.
+  /// No-op (fast path) if the context is already loaded.
+  [[nodiscard]] sim::Task<void> load_context(const std::string& context);
+
+  /// Executes `fn` (`ops` profiled operations) on the fabric. If `fn` is not
+  /// in the loaded context, a consistency violation is recorded (or thrown,
+  /// per Config::trap_on_violation) and the call degrades to a long software
+  ///-emulation delay — mirroring a real system reading garbage.
+  [[nodiscard]] sim::Task<void> run_function(const std::string& fn, std::uint64_t ops);
+
+  // ----------------------------------------------------------- queries
+  [[nodiscard]] const std::string& current_context() const noexcept { return current_; }
+  [[nodiscard]] bool context_loaded() const noexcept { return !current_.empty(); }
+  [[nodiscard]] bool function_available(const std::string& fn) const;
+  [[nodiscard]] const std::vector<ContextConfig>& contexts() const noexcept {
+    return contexts_;
+  }
+  [[nodiscard]] const ContextConfig& context(const std::string& name) const;
+  [[nodiscard]] sim::Time function_time(std::uint64_t ops) const;
+
+  // -------------------------------------------------------------- stats
+  [[nodiscard]] std::uint64_t reconfiguration_count() const noexcept {
+    return reconfigurations_;
+  }
+  [[nodiscard]] sim::Time reconfiguration_time() const noexcept { return reconfig_time_; }
+  [[nodiscard]] sim::Time compute_time() const noexcept { return compute_time_; }
+  [[nodiscard]] std::uint64_t functions_executed() const noexcept {
+    return functions_executed_;
+  }
+  [[nodiscard]] const std::vector<ConsistencyViolation>& violations() const noexcept {
+    return violations_;
+  }
+
+private:
+  std::vector<ContextConfig> contexts_;
+  tlm::Bus* bus_;
+  Config config_;
+  sim::Time fabric_period_;
+  std::string current_;
+  std::uint64_t reconfigurations_ = 0;
+  sim::Time reconfig_time_;
+  sim::Time compute_time_;
+  std::uint64_t functions_executed_ = 0;
+  std::vector<ConsistencyViolation> violations_;
+};
+
+}  // namespace symbad::fpga

@@ -1,0 +1,303 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace symbad::lp {
+
+int Problem::add_variable(double lower, double upper, std::string name) {
+  if (lower > upper) throw std::invalid_argument{"lp: lower bound above upper bound"};
+  lower_.push_back(lower);
+  upper_.push_back(upper);
+  if (name.empty()) name = "x" + std::to_string(lower_.size() - 1);
+  names_.push_back(std::move(name));
+  return static_cast<int>(lower_.size()) - 1;
+}
+
+int Problem::add_free_variable(std::string name) {
+  return add_variable(-infinity(), infinity(), std::move(name));
+}
+
+void Problem::add_constraint(std::span<const Term> terms, Relation relation, double rhs) {
+  Row row;
+  row.terms.assign(terms.begin(), terms.end());
+  for (const Term& t : row.terms) {
+    if (t.variable < 0 || t.variable >= variable_count()) {
+      throw std::out_of_range{"lp: constraint references unknown variable"};
+    }
+  }
+  row.relation = relation;
+  row.rhs = rhs;
+  rows_.push_back(std::move(row));
+}
+
+void Problem::set_objective(std::span<const Term> terms, Sense sense) {
+  objective_.assign(static_cast<std::size_t>(variable_count()), 0.0);
+  for (const Term& t : terms) {
+    if (t.variable < 0 || t.variable >= variable_count()) {
+      throw std::out_of_range{"lp: objective references unknown variable"};
+    }
+    objective_[static_cast<std::size_t>(t.variable)] += t.coefficient;
+  }
+  sense_ = sense;
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Mapping of one user variable onto standard-form (>= 0) variables.
+struct VarMap {
+  bool is_free = false;
+  int plus = -1;   // standard index of the positive part (or the shifted var)
+  int minus = -1;  // standard index of the negative part (free vars only)
+  double shift = 0.0;
+};
+
+/// Dense standard-form tableau: min c'y s.t. Ay = b, y >= 0.
+struct Tableau {
+  std::vector<std::vector<double>> a;  // m x n
+  std::vector<double> b;               // m
+  std::vector<int> basis;              // m, column index basic in each row
+  std::vector<double> cost;            // n (phase objective)
+  std::vector<double> reduced;         // n
+  double objective = 0.0;
+  int n = 0;
+
+  void pivot(std::size_t row, int col) {
+    auto& pr = a[row];
+    const double p = pr[static_cast<std::size_t>(col)];
+    for (auto& v : pr) v /= p;
+    b[row] /= p;
+    for (std::size_t r = 0; r < a.size(); ++r) {
+      if (r == row) continue;
+      const double f = a[r][static_cast<std::size_t>(col)];
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < pr.size(); ++j) a[r][j] -= f * pr[j];
+      a[r][static_cast<std::size_t>(col)] = 0.0;  // kill round-off
+      b[r] -= f * b[row];
+    }
+    const double f = reduced[static_cast<std::size_t>(col)];
+    if (f != 0.0) {
+      for (std::size_t j = 0; j < pr.size(); ++j) reduced[j] -= f * pr[j];
+      reduced[static_cast<std::size_t>(col)] = 0.0;
+      // Entering by theta = b[row] changes z by reduced_cost * theta.
+      objective += f * b[row];
+    }
+    basis[row] = col;
+  }
+
+  void recompute_reduced() {
+    reduced = cost;
+    objective = 0.0;
+    for (std::size_t r = 0; r < a.size(); ++r) {
+      const double cb = cost[static_cast<std::size_t>(basis[r])];
+      if (cb == 0.0) continue;
+      objective += cb * b[r];
+      for (std::size_t j = 0; j < a[r].size(); ++j) {
+        reduced[j] -= cb * a[r][j];
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Solution Solver::solve(const Problem& problem) const {
+  const double tol = options_.tolerance;
+  const int user_n = problem.variable_count();
+
+  // ---- Standardise variables -----------------------------------------
+  std::vector<VarMap> maps(static_cast<std::size_t>(user_n));
+  int n_struct = 0;
+  for (int v = 0; v < user_n; ++v) {
+    auto& m = maps[static_cast<std::size_t>(v)];
+    const double lo = problem.lower_[static_cast<std::size_t>(v)];
+    if (std::isfinite(lo)) {
+      m.is_free = false;
+      m.shift = lo;
+      m.plus = n_struct++;
+    } else {
+      m.is_free = true;
+      m.plus = n_struct++;
+      m.minus = n_struct++;
+    }
+  }
+
+  // ---- Build rows in terms of standard variables ---------------------
+  struct StdRow {
+    std::vector<double> coeffs;  // dense over structural vars
+    Relation relation;
+    double rhs;
+  };
+  std::vector<StdRow> rows;
+  auto add_std_row = [&](Relation rel, double rhs) -> StdRow& {
+    rows.push_back(StdRow{std::vector<double>(static_cast<std::size_t>(n_struct), 0.0), rel, rhs});
+    return rows.back();
+  };
+
+  for (const auto& row : problem.rows_) {
+    auto& sr = add_std_row(row.relation, row.rhs);
+    for (const Term& t : row.terms) {
+      const auto& m = maps[static_cast<std::size_t>(t.variable)];
+      sr.coeffs[static_cast<std::size_t>(m.plus)] += t.coefficient;
+      if (m.is_free) {
+        sr.coeffs[static_cast<std::size_t>(m.minus)] -= t.coefficient;
+      } else {
+        sr.rhs -= t.coefficient * m.shift;
+      }
+    }
+  }
+  // Finite upper bounds become rows.
+  for (int v = 0; v < user_n; ++v) {
+    const double hi = problem.upper_[static_cast<std::size_t>(v)];
+    if (!std::isfinite(hi)) continue;
+    const auto& m = maps[static_cast<std::size_t>(v)];
+    auto& sr = add_std_row(Relation::le, hi - (m.is_free ? 0.0 : m.shift));
+    sr.coeffs[static_cast<std::size_t>(m.plus)] = 1.0;
+    if (m.is_free) sr.coeffs[static_cast<std::size_t>(m.minus)] = -1.0;
+  }
+
+  // ---- Objective over standard variables (with constant offset) ------
+  const double sign = problem.sense_ == Sense::maximize ? -1.0 : 1.0;
+  std::vector<double> c(static_cast<std::size_t>(n_struct), 0.0);
+  double c0 = 0.0;
+  for (std::size_t v = 0; v < problem.objective_.size(); ++v) {
+    const double coef = sign * problem.objective_[v];
+    if (coef == 0.0) continue;
+    const auto& m = maps[v];
+    c[static_cast<std::size_t>(m.plus)] += coef;
+    if (m.is_free) {
+      c[static_cast<std::size_t>(m.minus)] -= coef;
+    } else {
+      c0 += coef * m.shift;
+    }
+  }
+
+  // ---- Slack/surplus + artificial columns ----------------------------
+  const std::size_t m_rows = rows.size();
+  int n_total = n_struct;
+  std::vector<int> slack_col(m_rows, -1);
+  for (std::size_t r = 0; r < m_rows; ++r) {
+    if (rows[r].relation != Relation::eq) slack_col[r] = n_total++;
+  }
+  const int first_artificial = n_total;
+  n_total += static_cast<int>(m_rows);  // one artificial per row (simple & robust)
+
+  Tableau t;
+  t.n = n_total;
+  t.a.assign(m_rows, std::vector<double>(static_cast<std::size_t>(n_total), 0.0));
+  t.b.assign(m_rows, 0.0);
+  t.basis.assign(m_rows, -1);
+  for (std::size_t r = 0; r < m_rows; ++r) {
+    auto& ar = t.a[r];
+    for (int j = 0; j < n_struct; ++j) ar[static_cast<std::size_t>(j)] = rows[r].coeffs[static_cast<std::size_t>(j)];
+    double rhs = rows[r].rhs;
+    if (slack_col[r] >= 0) {
+      ar[static_cast<std::size_t>(slack_col[r])] = rows[r].relation == Relation::le ? 1.0 : -1.0;
+    }
+    if (rhs < 0.0) {  // make b >= 0
+      for (auto& x : ar) x = -x;
+      rhs = -rhs;
+    }
+    t.b[r] = rhs;
+    const int art = first_artificial + static_cast<int>(r);
+    ar[static_cast<std::size_t>(art)] = 1.0;
+    t.basis[r] = art;
+  }
+
+  auto iterate = [&](bool ban_artificials) -> SolveStatus {
+    long iterations = 0;
+    for (;;) {
+      if (++iterations > options_.max_iterations) return SolveStatus::iteration_limit;
+      // Bland's rule: smallest-index entering column with negative reduced cost.
+      int entering = -1;
+      for (int j = 0; j < t.n; ++j) {
+        if (ban_artificials && j >= first_artificial) break;
+        if (t.reduced[static_cast<std::size_t>(j)] < -tol) {
+          entering = j;
+          break;
+        }
+      }
+      if (entering < 0) return SolveStatus::optimal;
+      // Ratio test (Bland tie-break on smallest basis index).
+      std::size_t leaving = m_rows;
+      double best = kInf;
+      for (std::size_t r = 0; r < m_rows; ++r) {
+        const double arj = t.a[r][static_cast<std::size_t>(entering)];
+        if (arj > tol) {
+          const double ratio = t.b[r] / arj;
+          if (ratio < best - tol ||
+              (ratio < best + tol && (leaving == m_rows || t.basis[r] < t.basis[leaving]))) {
+            best = ratio;
+            leaving = r;
+          }
+        }
+      }
+      if (leaving == m_rows) return SolveStatus::unbounded;
+      t.pivot(leaving, entering);
+    }
+  };
+
+  // ---- Phase 1: minimise sum of artificials ---------------------------
+  t.cost.assign(static_cast<std::size_t>(n_total), 0.0);
+  for (int j = first_artificial; j < n_total; ++j) t.cost[static_cast<std::size_t>(j)] = 1.0;
+  t.recompute_reduced();
+  SolveStatus status = iterate(/*ban_artificials=*/false);
+  if (status == SolveStatus::iteration_limit) return Solution{status, 0.0, {}};
+  if (t.objective > 1e-7) return Solution{SolveStatus::infeasible, 0.0, {}};
+
+  // Drive remaining artificials out of the basis (or drop redundant rows).
+  for (std::size_t r = 0; r < t.basis.size();) {
+    if (t.basis[r] < first_artificial) {
+      ++r;
+      continue;
+    }
+    int pivot_col = -1;
+    for (int j = 0; j < first_artificial; ++j) {
+      if (std::abs(t.a[r][static_cast<std::size_t>(j)]) > tol) {
+        pivot_col = j;
+        break;
+      }
+    }
+    if (pivot_col >= 0) {
+      t.pivot(r, pivot_col);
+      ++r;
+    } else {  // redundant row
+      t.a.erase(t.a.begin() + static_cast<std::ptrdiff_t>(r));
+      t.b.erase(t.b.begin() + static_cast<std::ptrdiff_t>(r));
+      t.basis.erase(t.basis.begin() + static_cast<std::ptrdiff_t>(r));
+    }
+  }
+
+  // ---- Phase 2: original objective ------------------------------------
+  t.cost.assign(static_cast<std::size_t>(n_total), 0.0);
+  for (int j = 0; j < n_struct; ++j) t.cost[static_cast<std::size_t>(j)] = c[static_cast<std::size_t>(j)];
+  t.recompute_reduced();
+  status = iterate(/*ban_artificials=*/true);
+  if (status != SolveStatus::optimal) return Solution{status, 0.0, {}};
+
+  // ---- Extract user-variable values ------------------------------------
+  std::vector<double> y(static_cast<std::size_t>(n_total), 0.0);
+  for (std::size_t r = 0; r < t.basis.size(); ++r) {
+    y[static_cast<std::size_t>(t.basis[r])] = t.b[r];
+  }
+  Solution sol;
+  sol.status = SolveStatus::optimal;
+  sol.values.resize(static_cast<std::size_t>(user_n), 0.0);
+  for (int v = 0; v < user_n; ++v) {
+    const auto& m = maps[static_cast<std::size_t>(v)];
+    double x = y[static_cast<std::size_t>(m.plus)];
+    if (m.is_free) {
+      x -= y[static_cast<std::size_t>(m.minus)];
+    } else {
+      x += m.shift;
+    }
+    sol.values[static_cast<std::size_t>(v)] = x;
+  }
+  sol.objective = sign * (t.objective + c0);
+  return sol;
+}
+
+}  // namespace symbad::lp

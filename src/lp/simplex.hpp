@@ -1,0 +1,113 @@
+#pragma once
+// A dense two-phase primal simplex solver.
+//
+// This is the LP engine behind `symbad::lpv` (linear-programming
+// verification, paper ref [7]): reachability questions over Petri-net
+// marking equations and real-time schedulability reduce to LP feasibility
+// and optimisation problems of modest size (tens of variables), for which a
+// dense tableau with Bland's anti-cycling rule is robust and fast enough.
+//
+// Model: variables are continuous with bounds [lower, upper] (lower may be
+// -inf via `free_variable`). Constraints are linear with <= / >= / ==
+// relations. Objective is minimised or maximised.
+
+#include <limits>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace symbad::lp {
+
+enum class Relation { le, ge, eq };
+enum class Sense { minimize, maximize };
+enum class SolveStatus { optimal, infeasible, unbounded, iteration_limit };
+
+[[nodiscard]] constexpr const char* to_string(SolveStatus s) noexcept {
+  switch (s) {
+    case SolveStatus::optimal: return "optimal";
+    case SolveStatus::infeasible: return "infeasible";
+    case SolveStatus::unbounded: return "unbounded";
+    case SolveStatus::iteration_limit: return "iteration_limit";
+  }
+  return "?";
+}
+
+/// A term `coefficient * variable`.
+struct Term {
+  int variable = 0;
+  double coefficient = 0.0;
+};
+
+/// Linear program under construction.
+class Problem {
+public:
+  static constexpr double infinity() noexcept {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  /// Adds a variable with bounds [lower, upper]; returns its index.
+  int add_variable(double lower = 0.0, double upper = infinity(), std::string name = {});
+  /// Adds a variable with bounds (-inf, +inf).
+  int add_free_variable(std::string name = {});
+
+  void add_constraint(std::span<const Term> terms, Relation relation, double rhs);
+  void add_constraint(std::initializer_list<Term> terms, Relation relation, double rhs) {
+    add_constraint(std::span<const Term>{terms.begin(), terms.size()}, relation, rhs);
+  }
+
+  /// Sets the objective (sparse; unmentioned variables have coefficient 0).
+  void set_objective(std::span<const Term> terms, Sense sense);
+  void set_objective(std::initializer_list<Term> terms, Sense sense) {
+    set_objective(std::span<const Term>{terms.begin(), terms.size()}, sense);
+  }
+
+  [[nodiscard]] int variable_count() const noexcept { return static_cast<int>(lower_.size()); }
+  [[nodiscard]] std::size_t constraint_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::string& variable_name(int v) const { return names_.at(static_cast<std::size_t>(v)); }
+
+private:
+  friend class Solver;
+  struct Row {
+    std::vector<Term> terms;
+    Relation relation = Relation::le;
+    double rhs = 0.0;
+  };
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<std::string> names_;
+  std::vector<Row> rows_;
+  std::vector<double> objective_;  // dense, resized lazily
+  Sense sense_ = Sense::minimize;
+};
+
+/// Result of `Solver::solve`.
+struct Solution {
+  SolveStatus status = SolveStatus::infeasible;
+  double objective = 0.0;
+  std::vector<double> values;  // one per problem variable (empty unless optimal)
+
+  [[nodiscard]] bool feasible() const noexcept { return status == SolveStatus::optimal; }
+  [[nodiscard]] double value(int variable) const {
+    return values.at(static_cast<std::size_t>(variable));
+  }
+};
+
+/// Two-phase dense primal simplex.
+class Solver {
+public:
+  struct Options {
+    double tolerance = 1e-9;
+    long max_iterations = 200'000;
+  };
+
+  Solver() = default;
+  explicit Solver(Options options) : options_{options} {}
+
+  [[nodiscard]] Solution solve(const Problem& problem) const;
+
+private:
+  Options options_{};
+};
+
+}  // namespace symbad::lp

@@ -1,0 +1,341 @@
+#include "lpv/lpv.hpp"
+
+#include <cmath>
+
+#include "lp/simplex.hpp"
+#include "verif/rng.hpp"
+
+namespace symbad::lpv {
+
+namespace {
+
+/// Builds the marking-equation skeleton: variables M (>= 0) and sigma
+/// (>= 0), constraints M = M0 + C sigma. Returns the index of M[0] (places
+/// are 0..P-1, sigma follows).
+void build_state_equation(const PetriNet& net, lp::Problem& problem) {
+  const int places = static_cast<int>(net.place_count());
+  const int transitions = static_cast<int>(net.transition_count());
+  for (int p = 0; p < places; ++p) (void)problem.add_variable(0.0, lp::Problem::infinity(), "M_" + net.place_name(p));
+  for (int t = 0; t < transitions; ++t) {
+    (void)problem.add_variable(0.0, lp::Problem::infinity(), "s_" + net.transition_name(t));
+  }
+  for (int p = 0; p < places; ++p) {
+    std::vector<lp::Term> terms;
+    terms.push_back(lp::Term{p, 1.0});
+    for (int t = 0; t < transitions; ++t) {
+      const double c = net.incidence(p, t);
+      if (c != 0.0) terms.push_back(lp::Term{places + t, -c});
+    }
+    problem.add_constraint(terms, lp::Relation::eq, net.initial_marking(p));
+  }
+}
+
+lp::Relation to_lp(Relation r) {
+  switch (r) {
+    case Relation::le: return lp::Relation::le;
+    case Relation::ge: return lp::Relation::ge;
+    case Relation::eq: return lp::Relation::eq;
+  }
+  return lp::Relation::eq;
+}
+
+}  // namespace
+
+ReachabilityResult check_unreachable(const PetriNet& net,
+                                     const std::vector<MarkingConstraint>& constraints) {
+  lp::Problem problem;
+  build_state_equation(net, problem);
+  for (const auto& c : constraints) {
+    problem.add_constraint({lp::Term{c.place, 1.0}}, to_lp(c.relation), c.value);
+  }
+  problem.set_objective({}, lp::Sense::minimize);
+  const auto solution = lp::Solver{}.solve(problem);
+
+  ReachabilityResult result;
+  if (solution.status == lp::SolveStatus::infeasible) {
+    result.verdict = Verdict::proved_unreachable;
+    return result;
+  }
+  result.verdict = Verdict::maybe_reachable;
+  if (solution.feasible()) {
+    result.witness_marking.assign(
+        solution.values.begin(),
+        solution.values.begin() + static_cast<std::ptrdiff_t>(net.place_count()));
+  }
+  return result;
+}
+
+// ------------------------------------------------------------- deadlock
+
+namespace {
+
+/// Tries to reach a dead marking by random token-game playouts.
+bool find_deadlock_by_simulation(const PetriNet& net, int tries, int max_steps,
+                                 std::vector<std::string>& trace_out) {
+  verif::Rng rng{0xDEADF00DULL};
+  for (int attempt = 0; attempt < tries; ++attempt) {
+    auto marking = net.initial_marking_vector();
+    std::vector<std::string> trace;
+    for (int step = 0; step < max_steps; ++step) {
+      std::vector<int> enabled;
+      for (int t = 0; t < static_cast<int>(net.transition_count()); ++t) {
+        if (net.enabled(marking, t)) enabled.push_back(t);
+      }
+      if (enabled.empty()) {
+        trace_out = std::move(trace);
+        return true;  // dead marking reached
+      }
+      const int pick = enabled[static_cast<std::size_t>(
+          rng.below(static_cast<std::uint64_t>(enabled.size())))];
+      net.fire(marking, pick);
+      trace.push_back(net.transition_name(pick));
+    }
+  }
+  return false;
+}
+
+struct DeadlockSearch {
+  const PetriNet& net;
+  DeadlockResult result;
+  // Tightest "place has fewer than w tokens" bound chosen so far.
+  std::map<int, double> upper_bounds;
+  long budget = 50'000;
+
+  bool feasible_now() {
+    lp::Problem problem;
+    build_state_equation(net, problem);
+    for (const auto& [p, bound] : upper_bounds) {
+      problem.add_constraint({lp::Term{p, 1.0}}, lp::Relation::le, bound);
+    }
+    problem.set_objective({}, lp::Sense::minimize);
+    const auto sol = lp::Solver{}.solve(problem);
+    return sol.status != lp::SolveStatus::infeasible;
+  }
+
+  /// Returns true when a feasible complete disabling case was found.
+  bool descend(std::size_t t) {
+    if (--budget <= 0) return true;  // give up: treat as maybe
+    if (t == net.transition_count()) {
+      ++result.cases_examined;
+      return true;  // all transitions disabled, LP feasible along the path
+    }
+    const auto& inputs = net.inputs_of(static_cast<int>(t));
+    for (const auto& [place, weight] : inputs) {
+      const double bound = weight - 1.0;  // fewer tokens than required
+      const auto previous = upper_bounds.find(place);
+      const bool had = previous != upper_bounds.end();
+      const double old = had ? previous->second : 0.0;
+      if (had && old <= bound) {
+        // Existing bound already disables this transition via `place`.
+        if (descend(t + 1)) return true;
+        continue;
+      }
+      upper_bounds[place] = bound;
+      if (feasible_now()) {
+        if (descend(t + 1)) return true;
+      } else {
+        ++result.cases_pruned;
+      }
+      if (had) {
+        upper_bounds[place] = old;
+      } else {
+        upper_bounds.erase(place);
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+DeadlockResult check_deadlock_freeness(const PetriNet& net, int simulation_tries,
+                                       int max_steps) {
+  DeadlockResult result;
+  // A transition with no input places is always enabled: no dead marking.
+  for (int t = 0; t < static_cast<int>(net.transition_count()); ++t) {
+    if (net.inputs_of(t).empty()) {
+      result.proved_free = true;
+      return result;
+    }
+  }
+  DeadlockSearch search{net, DeadlockResult{}, {}, 50'000};
+  const bool maybe = search.descend(0);
+  result = search.result;
+  if (!maybe) {
+    result.proved_free = true;
+    return result;
+  }
+  // Semi-decision said "maybe": hunt for a concrete counter-example.
+  result.counterexample_found = find_deadlock_by_simulation(
+      net, simulation_tries, max_steps, result.counterexample_trace);
+  return result;
+}
+
+// ------------------------------------------------------------- invariants
+
+std::optional<PlaceInvariant> find_invariant_covering(const PetriNet& net, int place) {
+  const int places = static_cast<int>(net.place_count());
+  const int transitions = static_cast<int>(net.transition_count());
+  if (place < 0 || place >= places) {
+    throw std::out_of_range{"lpv: invariant place out of range"};
+  }
+  lp::Problem problem;
+  std::vector<lp::Term> objective;
+  for (int p = 0; p < places; ++p) {
+    (void)problem.add_variable(0.0, lp::Problem::infinity(), "y_" + net.place_name(p));
+    objective.push_back(lp::Term{p, 1.0});
+  }
+  problem.add_constraint({lp::Term{place, 1.0}}, lp::Relation::ge, 1.0);
+  for (int t = 0; t < transitions; ++t) {
+    std::vector<lp::Term> terms;
+    for (int p = 0; p < places; ++p) {
+      const double c = net.incidence(p, t);
+      if (c != 0.0) terms.push_back(lp::Term{p, c});
+    }
+    problem.add_constraint(terms, lp::Relation::eq, 0.0);
+  }
+  problem.set_objective(objective, lp::Sense::minimize);
+  const auto sol = lp::Solver{}.solve(problem);
+  if (sol.status != lp::SolveStatus::optimal) return std::nullopt;
+
+  PlaceInvariant invariant;
+  invariant.weights = sol.values;
+  for (int p = 0; p < places; ++p) {
+    invariant.conserved_value +=
+        sol.values[static_cast<std::size_t>(p)] * net.initial_marking(p);
+  }
+  return invariant;
+}
+
+bool verify_invariant(const PetriNet& net, const std::vector<double>& weights) {
+  if (weights.size() != net.place_count()) return false;
+  for (int t = 0; t < static_cast<int>(net.transition_count()); ++t) {
+    double dot = 0.0;
+    for (int p = 0; p < static_cast<int>(net.place_count()); ++p) {
+      dot += weights[static_cast<std::size_t>(p)] * net.incidence(p, t);
+    }
+    if (dot > 1e-9 || dot < -1e-9) return false;
+  }
+  return true;
+}
+
+// -------------------------------------------------------------- realtime
+
+namespace {
+
+/// Shared LP scaffolding for the periodic-schedule analyses. When
+/// `fixed_period < 0`, the period is a variable to minimise; otherwise it is
+/// a constant and per-channel capacities become the variables to minimise.
+struct ScheduleLp {
+  lp::Problem problem;
+  std::map<std::string, int> start_var;   // per task
+  int period_var = -1;
+  std::map<std::string, int> capacity_var;  // per channel key
+};
+
+std::string channel_key(const core::ChannelEdge& edge, int index) {
+  return edge.from + "->" + edge.to + "#" + std::to_string(index);
+}
+
+}  // namespace
+
+PeriodResult minimum_period(const core::TaskGraph& graph,
+                            const std::map<std::string, double>& durations) {
+  ScheduleLp lp_model;
+  auto& problem = lp_model.problem;
+  for (const auto& node : graph.tasks()) {
+    lp_model.start_var[node.name] = problem.add_free_variable("s_" + node.name);
+  }
+  lp_model.period_var = problem.add_variable(0.0, lp::Problem::infinity(), "T");
+
+  auto duration_of = [&durations](const std::string& task) {
+    const auto it = durations.find(task);
+    return it == durations.end() ? 0.0 : it->second;
+  };
+
+  for (const auto& edge : graph.channels()) {
+    const int si = lp_model.start_var.at(edge.from);
+    const int sj = lp_model.start_var.at(edge.to);
+    // Forward place (0 initial tokens): s_j - s_i >= d_i.
+    problem.add_constraint({lp::Term{sj, 1.0}, lp::Term{si, -1.0}}, lp::Relation::ge,
+                           duration_of(edge.from));
+    // Slot place (capacity tokens): s_i - s_j + T*cap >= d_j.
+    problem.add_constraint({lp::Term{si, 1.0}, lp::Term{sj, -1.0},
+                            lp::Term{lp_model.period_var,
+                                     static_cast<double>(edge.fifo_capacity)}},
+                           lp::Relation::ge, duration_of(edge.to));
+  }
+  // Every transition fires once per period.
+  for (const auto& node : graph.tasks()) {
+    problem.add_constraint({lp::Term{lp_model.period_var, 1.0}}, lp::Relation::ge,
+                           duration_of(node.name));
+  }
+  problem.set_objective({lp::Term{lp_model.period_var, 1.0}}, lp::Sense::minimize);
+  const auto sol = lp::Solver{}.solve(problem);
+
+  PeriodResult result;
+  if (sol.status == lp::SolveStatus::optimal) {
+    result.feasible = true;
+    result.min_period_s = sol.objective;
+  }
+  return result;
+}
+
+DeadlineResult check_deadline(const core::TaskGraph& graph,
+                              const std::map<std::string, double>& durations,
+                              double deadline_s) {
+  const auto period = minimum_period(graph, durations);
+  DeadlineResult result;
+  result.min_period_s = period.min_period_s;
+  result.met = period.feasible && period.min_period_s <= deadline_s;
+  result.slack_s = deadline_s - period.min_period_s;
+  return result;
+}
+
+FifoSizingResult size_fifos_for_period(const core::TaskGraph& graph,
+                                       const std::map<std::string, double>& durations,
+                                       double period_s) {
+  ScheduleLp lp_model;
+  auto& problem = lp_model.problem;
+  for (const auto& node : graph.tasks()) {
+    lp_model.start_var[node.name] = problem.add_free_variable("s_" + node.name);
+  }
+  auto duration_of = [&durations](const std::string& task) {
+    const auto it = durations.find(task);
+    return it == durations.end() ? 0.0 : it->second;
+  };
+
+  int index = 0;
+  std::vector<lp::Term> objective;
+  for (const auto& edge : graph.channels()) {
+    const std::string key = channel_key(edge, index++);
+    const int cap = problem.add_variable(1.0, lp::Problem::infinity(), "c_" + key);
+    lp_model.capacity_var[key] = cap;
+    objective.push_back(lp::Term{cap, 1.0});
+    const int si = lp_model.start_var.at(edge.from);
+    const int sj = lp_model.start_var.at(edge.to);
+    problem.add_constraint({lp::Term{sj, 1.0}, lp::Term{si, -1.0}}, lp::Relation::ge,
+                           duration_of(edge.from));
+    problem.add_constraint(
+        {lp::Term{si, 1.0}, lp::Term{sj, -1.0}, lp::Term{cap, period_s}},
+        lp::Relation::ge, duration_of(edge.to));
+  }
+  problem.set_objective(objective, lp::Sense::minimize);
+  const auto sol = lp::Solver{}.solve(problem);
+
+  FifoSizingResult result;
+  if (sol.status != lp::SolveStatus::optimal) return result;
+  // The period must also accommodate the slowest single task.
+  for (const auto& node : graph.tasks()) {
+    if (duration_of(node.name) > period_s + 1e-12) return result;
+  }
+  result.feasible = true;
+  for (const auto& [key, var] : lp_model.capacity_var) {
+    const int c = static_cast<int>(std::ceil(sol.value(var) - 1e-9));
+    result.capacities[key] = c;
+    result.total_slots += c;
+  }
+  return result;
+}
+
+}  // namespace symbad::lpv

@@ -1,0 +1,110 @@
+#pragma once
+// The LPV analyses: marking-equation unreachability, deadlock freeness,
+// real-time deadlines and FIFO dimensioning (paper §3.1, §3.2, §4.2).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/task_graph.hpp"
+#include "lpv/petri.hpp"
+
+namespace symbad::lpv {
+
+enum class Relation { le, ge, eq };
+
+/// One linear constraint on a place's marking.
+struct MarkingConstraint {
+  int place = 0;
+  Relation relation = Relation::ge;
+  double value = 0.0;
+};
+
+enum class Verdict {
+  proved_unreachable,  ///< LP infeasible: the bad marking cannot occur
+  maybe_reachable,     ///< LP feasible: semi-decision cannot conclude
+};
+
+struct ReachabilityResult {
+  Verdict verdict = Verdict::maybe_reachable;
+  /// LP witness (only for maybe_reachable): a marking satisfying the state
+  /// equation and the constraints — a hint, not a proof of reachability.
+  std::vector<double> witness_marking;
+};
+
+/// Checks whether a marking satisfying all `constraints` (conjunction) is
+/// unreachable according to the marking-equation relaxation.
+[[nodiscard]] ReachabilityResult check_unreachable(
+    const PetriNet& net, const std::vector<MarkingConstraint>& constraints);
+
+// --------------------------------------------------------------- deadlock
+
+struct DeadlockResult {
+  bool proved_free = false;        ///< every dead-marking case LP-infeasible
+  bool counterexample_found = false;  ///< token game reached a dead marking
+  std::vector<std::string> counterexample_trace;  ///< fired transitions
+  int cases_examined = 0;          ///< disjunct branches explored
+  int cases_pruned = 0;            ///< branches closed by LP infeasibility
+};
+
+/// Proves deadlock freeness by enumerating the ways all transitions can be
+/// simultaneously disabled (each case an automatically generated
+/// unreachability property, as the paper describes) with LP pruning; on a
+/// "maybe" case, searches for a real deadlock with guided simulation.
+[[nodiscard]] DeadlockResult check_deadlock_freeness(const PetriNet& net,
+                                                     int simulation_tries = 32,
+                                                     int max_steps = 4096);
+
+// --------------------------------------------------------------- realtime
+
+/// Minimum steady-state period (seconds per frame) of the task graph's
+/// bounded-FIFO net under a periodic schedule: the LP over start offsets
+/// s_j - s_i + T * m0(p) >= d_i for every arc i ->(p)-> j.
+struct PeriodResult {
+  bool feasible = false;
+  double min_period_s = 0.0;
+};
+[[nodiscard]] PeriodResult minimum_period(const core::TaskGraph& graph,
+                                          const std::map<std::string, double>& durations);
+
+/// Real-time property: can the system sustain one frame per `deadline_s`?
+struct DeadlineResult {
+  bool met = false;
+  double min_period_s = 0.0;
+  double slack_s = 0.0;
+};
+[[nodiscard]] DeadlineResult check_deadline(const core::TaskGraph& graph,
+                                            const std::map<std::string, double>& durations,
+                                            double deadline_s);
+
+// ------------------------------------------------------------- invariants
+
+/// A place invariant (P-semiflow): non-negative weights y with y^T C = 0.
+/// The weighted token count y^T M is conserved by every firing — the
+/// structural backbone of LPV proofs (e.g. tokens+slots = capacity).
+struct PlaceInvariant {
+  std::vector<double> weights;   ///< one per place
+  double conserved_value = 0.0;  ///< y^T M0
+};
+
+/// Finds a place invariant with weight >= 1 on `place` (minimising total
+/// weight), or nullopt when none exists.
+[[nodiscard]] std::optional<PlaceInvariant> find_invariant_covering(const PetriNet& net,
+                                                                    int place);
+
+/// Checks that `weights` is a place invariant of `net`.
+[[nodiscard]] bool verify_invariant(const PetriNet& net,
+                                    const std::vector<double>& weights);
+
+/// FIFO dimensioning: minimal per-channel capacities sustaining `period_s`.
+struct FifoSizingResult {
+  bool feasible = false;
+  std::map<std::string, int> capacities;  ///< channel "from->to#idx" -> size
+  int total_slots = 0;
+};
+[[nodiscard]] FifoSizingResult size_fifos_for_period(
+    const core::TaskGraph& graph, const std::map<std::string, double>& durations,
+    double period_s);
+
+}  // namespace symbad::lpv

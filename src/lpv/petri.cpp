@@ -1,0 +1,117 @@
+#include "lpv/petri.hpp"
+
+#include <stdexcept>
+
+namespace symbad::lpv {
+
+int PetriNet::add_place(const std::string& name, double initial_tokens) {
+  if (place_index_.contains(name)) {
+    throw std::invalid_argument{"petri: duplicate place '" + name + "'"};
+  }
+  const int p = static_cast<int>(place_names_.size());
+  place_names_.push_back(name);
+  initial_.push_back(initial_tokens);
+  place_index_.emplace(name, p);
+  return p;
+}
+
+int PetriNet::add_transition(const std::string& name, double duration) {
+  if (transition_index_.contains(name)) {
+    throw std::invalid_argument{"petri: duplicate transition '" + name + "'"};
+  }
+  const int t = static_cast<int>(transition_names_.size());
+  transition_names_.push_back(name);
+  durations_.push_back(duration);
+  transition_index_.emplace(name, t);
+  pre_arcs_.emplace_back();
+  post_arcs_.emplace_back();
+  return t;
+}
+
+void PetriNet::add_input_arc(int place, int transition, double weight) {
+  pre_arcs_.at(static_cast<std::size_t>(transition)).emplace_back(place, weight);
+}
+
+void PetriNet::add_output_arc(int transition, int place, double weight) {
+  post_arcs_.at(static_cast<std::size_t>(transition)).emplace_back(place, weight);
+}
+
+int PetriNet::place(const std::string& name) const {
+  const auto it = place_index_.find(name);
+  if (it == place_index_.end()) throw std::out_of_range{"petri: no place '" + name + "'"};
+  return it->second;
+}
+
+int PetriNet::transition(const std::string& name) const {
+  const auto it = transition_index_.find(name);
+  if (it == transition_index_.end()) {
+    throw std::out_of_range{"petri: no transition '" + name + "'"};
+  }
+  return it->second;
+}
+
+double PetriNet::pre(int p, int t) const {
+  double w = 0.0;
+  for (const auto& [place, weight] : pre_arcs_.at(static_cast<std::size_t>(t))) {
+    if (place == p) w += weight;
+  }
+  return w;
+}
+
+double PetriNet::incidence(int p, int t) const {
+  double w = -pre(p, t);
+  for (const auto& [place, weight] : post_arcs_.at(static_cast<std::size_t>(t))) {
+    if (place == p) w += weight;
+  }
+  return w;
+}
+
+bool PetriNet::enabled(const std::vector<double>& marking, int t) const {
+  for (const auto& [p, w] : pre_arcs_.at(static_cast<std::size_t>(t))) {
+    if (marking.at(static_cast<std::size_t>(p)) < w) return false;
+  }
+  return true;
+}
+
+void PetriNet::fire(std::vector<double>& marking, int t) const {
+  for (const auto& [p, w] : pre_arcs_.at(static_cast<std::size_t>(t))) {
+    marking.at(static_cast<std::size_t>(p)) -= w;
+  }
+  for (const auto& [p, w] : post_arcs_.at(static_cast<std::size_t>(t))) {
+    marking.at(static_cast<std::size_t>(p)) += w;
+  }
+}
+
+bool PetriNet::is_dead(const std::vector<double>& marking) const {
+  for (std::size_t t = 0; t < transition_count(); ++t) {
+    if (enabled(marking, static_cast<int>(t))) return false;
+  }
+  return true;
+}
+
+PetriNet petri_from_task_graph(const core::TaskGraph& graph,
+                               const std::map<std::string, double>& durations) {
+  PetriNet net;
+  std::map<std::string, int> task_transition;
+  for (const auto& node : graph.tasks()) {
+    const auto it = durations.find(node.name);
+    task_transition[node.name] =
+        net.add_transition(node.name, it == durations.end() ? 0.0 : it->second);
+  }
+  int edge_index = 0;
+  for (const auto& edge : graph.channels()) {
+    const std::string base = edge.from + "->" + edge.to + "#" + std::to_string(edge_index++);
+    const int tokens = net.add_place(base + ".tokens", 0.0);
+    const int slots =
+        net.add_place(base + ".slots", static_cast<double>(edge.fifo_capacity));
+    const int producer = task_transition.at(edge.from);
+    const int consumer = task_transition.at(edge.to);
+    net.add_input_arc(slots, producer);
+    net.add_output_arc(producer, tokens);
+    net.add_input_arc(tokens, consumer);
+    net.add_output_arc(consumer, slots);
+  }
+  return net;
+}
+
+}  // namespace symbad::lpv

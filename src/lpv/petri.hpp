@@ -1,0 +1,86 @@
+#pragma once
+// Petri-net model for Linear Programming Verification (paper §3.1/§3.2,
+// ref [7] Dellacherie/Devulder/Lambert).
+//
+// LPV is a semi-decision procedure over the *marking equation*: a marking M
+// is reachable only if  M = M0 + C·sigma  has a non-negative solution
+// (M, sigma >= 0). Encoding a bad situation (deadlock, missed deadline) as
+// linear constraints on M and showing the LP infeasible *proves* the
+// situation unreachable; a feasible LP is only "maybe", which LPV follows up
+// with a guided token-game simulation to search for a real counter-example.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/task_graph.hpp"
+
+namespace symbad::lpv {
+
+class PetriNet {
+public:
+  int add_place(const std::string& name, double initial_tokens = 0.0);
+  int add_transition(const std::string& name, double duration = 0.0);
+  /// Arc place -> transition (consumption).
+  void add_input_arc(int place, int transition, double weight = 1.0);
+  /// Arc transition -> place (production).
+  void add_output_arc(int transition, int place, double weight = 1.0);
+
+  [[nodiscard]] int place(const std::string& name) const;
+  [[nodiscard]] int transition(const std::string& name) const;
+  [[nodiscard]] std::size_t place_count() const noexcept { return place_names_.size(); }
+  [[nodiscard]] std::size_t transition_count() const noexcept {
+    return transition_names_.size();
+  }
+  [[nodiscard]] const std::string& place_name(int p) const {
+    return place_names_.at(static_cast<std::size_t>(p));
+  }
+  [[nodiscard]] const std::string& transition_name(int t) const {
+    return transition_names_.at(static_cast<std::size_t>(t));
+  }
+  [[nodiscard]] double initial_marking(int p) const {
+    return initial_.at(static_cast<std::size_t>(p));
+  }
+  [[nodiscard]] double duration(int t) const {
+    return durations_.at(static_cast<std::size_t>(t));
+  }
+  /// Incidence C[p][t] = post(p,t) - pre(p,t).
+  [[nodiscard]] double incidence(int p, int t) const;
+  [[nodiscard]] double pre(int p, int t) const;
+  /// Input places (with weights) of a transition.
+  [[nodiscard]] const std::vector<std::pair<int, double>>& inputs_of(int t) const {
+    return pre_arcs_.at(static_cast<std::size_t>(t));
+  }
+  [[nodiscard]] const std::vector<std::pair<int, double>>& outputs_of(int t) const {
+    return post_arcs_.at(static_cast<std::size_t>(t));
+  }
+
+  // ------------------------------------------------------- token game
+  [[nodiscard]] bool enabled(const std::vector<double>& marking, int t) const;
+  void fire(std::vector<double>& marking, int t) const;
+  [[nodiscard]] std::vector<double> initial_marking_vector() const { return initial_; }
+  /// True when no transition is enabled (a dead marking).
+  [[nodiscard]] bool is_dead(const std::vector<double>& marking) const;
+
+private:
+  std::vector<std::string> place_names_;
+  std::vector<std::string> transition_names_;
+  std::vector<double> initial_;
+  std::vector<double> durations_;
+  std::map<std::string, int> place_index_;
+  std::map<std::string, int> transition_index_;
+  std::vector<std::vector<std::pair<int, double>>> pre_arcs_;   // per transition
+  std::vector<std::vector<std::pair<int, double>>> post_arcs_;  // per transition
+};
+
+/// Builds the bounded-FIFO dataflow net of a task graph: each channel is a
+/// (tokens, free-slots) place pair; each task is a transition consuming one
+/// token per input channel and one slot per output channel. `durations`
+/// (seconds per firing) annotate transitions for the timed analyses.
+[[nodiscard]] PetriNet petri_from_task_graph(
+    const core::TaskGraph& graph,
+    const std::map<std::string, double>& durations = {});
+
+}  // namespace symbad::lpv

@@ -1,0 +1,261 @@
+#include "mc/mc.hpp"
+
+#include <stdexcept>
+
+namespace symbad::mc {
+
+using sat::Lit;
+
+// ------------------------------------------------------------------ Expr
+
+Expr Expr::signal(std::string output_name) {
+  Expr e;
+  e.kind_ = Kind::signal;
+  e.name_ = std::move(output_name);
+  return e;
+}
+
+Expr Expr::constant(bool value) {
+  Expr e;
+  e.kind_ = Kind::constant;
+  e.value_ = value;
+  return e;
+}
+
+Expr Expr::operator!() const {
+  Expr e;
+  e.kind_ = Kind::not_op;
+  e.lhs_ = std::make_shared<Expr>(*this);
+  return e;
+}
+
+Expr Expr::operator&&(const Expr& rhs) const {
+  Expr e;
+  e.kind_ = Kind::and_op;
+  e.lhs_ = std::make_shared<Expr>(*this);
+  e.rhs_ = std::make_shared<Expr>(rhs);
+  return e;
+}
+
+Expr Expr::operator||(const Expr& rhs) const {
+  Expr e;
+  e.kind_ = Kind::or_op;
+  e.lhs_ = std::make_shared<Expr>(*this);
+  e.rhs_ = std::make_shared<Expr>(rhs);
+  return e;
+}
+
+Lit Expr::encode(rtl::CnfEncoder& encoder, const rtl::Frame& frame) const {
+  auto& solver = encoder.solver();
+  switch (kind_) {
+    case Kind::signal: return frame.lit(encoder.netlist().output(name_));
+    case Kind::constant: return value_ ? encoder.true_lit() : ~encoder.true_lit();
+    case Kind::not_op: return ~lhs_->encode(encoder, frame);
+    case Kind::and_op: {
+      const Lit a = lhs_->encode(encoder, frame);
+      const Lit b = rhs_->encode(encoder, frame);
+      const Lit out = Lit::positive(solver.new_var());
+      solver.add_binary(~out, a);
+      solver.add_binary(~out, b);
+      solver.add_ternary(out, ~a, ~b);
+      return out;
+    }
+    case Kind::or_op: {
+      const Lit a = lhs_->encode(encoder, frame);
+      const Lit b = rhs_->encode(encoder, frame);
+      const Lit out = Lit::positive(solver.new_var());
+      solver.add_binary(out, ~a);
+      solver.add_binary(out, ~b);
+      solver.add_ternary(~out, a, b);
+      return out;
+    }
+  }
+  throw std::logic_error{"mc: bad expression"};
+}
+
+bool Expr::eval(const rtl::Simulator& sim, const rtl::Netlist& netlist) const {
+  switch (kind_) {
+    case Kind::signal: return sim.value(netlist.output(name_));
+    case Kind::constant: return value_;
+    case Kind::not_op: return !lhs_->eval(sim, netlist);
+    case Kind::and_op: return lhs_->eval(sim, netlist) && rhs_->eval(sim, netlist);
+    case Kind::or_op: return lhs_->eval(sim, netlist) || rhs_->eval(sim, netlist);
+  }
+  throw std::logic_error{"mc: bad expression"};
+}
+
+std::string Expr::to_string() const {
+  switch (kind_) {
+    case Kind::signal: return name_;
+    case Kind::constant: return value_ ? "1" : "0";
+    case Kind::not_op: return "!(" + lhs_->to_string() + ")";
+    case Kind::and_op: return "(" + lhs_->to_string() + " & " + rhs_->to_string() + ")";
+    case Kind::or_op: return "(" + lhs_->to_string() + " | " + rhs_->to_string() + ")";
+  }
+  return "?";
+}
+
+// -------------------------------------------------------------- Property
+
+Property Property::invariant(std::string name, Expr p) {
+  Property prop;
+  prop.name = std::move(name);
+  prop.kind = PropertyKind::invariant;
+  prop.antecedent = std::move(p);
+  return prop;
+}
+
+Property Property::next(std::string name, Expr p, Expr q) {
+  Property prop;
+  prop.name = std::move(name);
+  prop.kind = PropertyKind::next_implication;
+  prop.antecedent = std::move(p);
+  prop.consequent = std::move(q);
+  return prop;
+}
+
+Property Property::respond(std::string name, Expr p, Expr q, int within) {
+  if (within < 0) throw std::invalid_argument{"mc: negative response bound"};
+  Property prop;
+  prop.name = std::move(name);
+  prop.kind = PropertyKind::bounded_response;
+  prop.antecedent = std::move(p);
+  prop.consequent = std::move(q);
+  prop.response_bound = within;
+  return prop;
+}
+
+// ----------------------------------------------------------- ModelChecker
+
+namespace {
+
+Counterexample extract_counterexample(const rtl::Netlist& netlist, sat::Solver& solver,
+                                      const std::vector<rtl::Frame>& frames,
+                                      int last_frame) {
+  Counterexample cex;
+  for (int f = 0; f <= last_frame && f < static_cast<int>(frames.size()); ++f) {
+    std::map<std::string, bool> values;
+    for (const rtl::Net in : netlist.inputs()) {
+      const Lit l = frames[static_cast<std::size_t>(f)].lit(in);
+      values[netlist.net_name(in)] = solver.model_value(l.var()) != l.negated();
+    }
+    cex.inputs.push_back(std::move(values));
+  }
+  return cex;
+}
+
+}  // namespace
+
+CheckResult ModelChecker::check(const Property& property, Options options) const {
+  return check_with_faults(property, {}, options);
+}
+
+CheckResult ModelChecker::check_with_faults(const Property& property,
+                                            const std::map<rtl::Net, bool>& faults,
+                                            Options options) const {
+  CheckResult result;
+
+  // ---------------- BMC from reset --------------------------------------
+  {
+    sat::Solver solver;
+    rtl::CnfEncoder encoder{*netlist_, solver};
+    std::vector<rtl::Frame> frames;
+    const int horizon = options.max_bound +
+                        (property.kind == PropertyKind::bounded_response
+                             ? property.response_bound
+                             : 1);
+    for (int f = 0; f <= horizon; ++f) {
+      rtl::CnfEncoder::Options opts;
+      opts.state = f == 0 ? rtl::StateInit::reset : rtl::StateInit::chained;
+      if (f > 0) opts.previous = &frames.back();
+      if (!faults.empty()) opts.faults = &faults;
+      frames.push_back(encoder.encode(opts));
+    }
+
+    for (int i = 0; i <= options.max_bound; ++i) {
+      std::vector<Lit> assumptions;
+      int last = i;
+      switch (property.kind) {
+        case PropertyKind::invariant:
+          assumptions.push_back(
+              ~property.antecedent.encode(encoder, frames[static_cast<std::size_t>(i)]));
+          break;
+        case PropertyKind::next_implication:
+          assumptions.push_back(
+              property.antecedent.encode(encoder, frames[static_cast<std::size_t>(i)]));
+          assumptions.push_back(~property.consequent.encode(
+              encoder, frames[static_cast<std::size_t>(i + 1)]));
+          last = i + 1;
+          break;
+        case PropertyKind::bounded_response:
+          assumptions.push_back(
+              property.antecedent.encode(encoder, frames[static_cast<std::size_t>(i)]));
+          for (int d = 0; d <= property.response_bound; ++d) {
+            assumptions.push_back(~property.consequent.encode(
+                encoder, frames[static_cast<std::size_t>(i + d)]));
+          }
+          last = i + property.response_bound;
+          break;
+      }
+      if (solver.solve(assumptions) == sat::Result::sat) {
+        result.status = CheckStatus::falsified;
+        result.bound_used = i;
+        result.counterexample = extract_counterexample(*netlist_, solver, frames, last);
+        result.sat_conflicts = solver.statistics().conflicts;
+        return result;
+      }
+    }
+    result.sat_conflicts = solver.statistics().conflicts;
+    result.bound_used = options.max_bound;
+  }
+
+  // ---------------- k-induction (safety forms only) ---------------------
+  if (property.kind == PropertyKind::bounded_response) {
+    result.status = CheckStatus::no_cex_within_bound;
+    return result;
+  }
+  {
+    sat::Solver solver;
+    rtl::CnfEncoder encoder{*netlist_, solver};
+    const int k = options.induction_depth;
+    std::vector<rtl::Frame> frames;
+    for (int f = 0; f <= k + 1; ++f) {
+      rtl::CnfEncoder::Options opts;
+      opts.state = f == 0 ? rtl::StateInit::free_state : rtl::StateInit::chained;
+      if (f > 0) opts.previous = &frames.back();
+      if (!faults.empty()) opts.faults = &faults;
+      frames.push_back(encoder.encode(opts));
+    }
+    auto holds_at = [&](int f) -> Lit {
+      const auto& frame = frames[static_cast<std::size_t>(f)];
+      switch (property.kind) {
+        case PropertyKind::invariant: return property.antecedent.encode(encoder, frame);
+        case PropertyKind::next_implication: {
+          const Lit p = property.antecedent.encode(encoder, frame);
+          const Lit q = property.consequent.encode(
+              encoder, frames[static_cast<std::size_t>(f + 1)]);
+          // r = p -> q
+          const Lit r = Lit::positive(solver.new_var());
+          solver.add_ternary(~r, ~p, q);
+          solver.add_binary(r, p);
+          solver.add_binary(r, ~q);
+          return r;
+        }
+        default: break;
+      }
+      throw std::logic_error{"mc: unreachable"};
+    };
+    // Assume the property on frames 0..k-1, refute it at frame k.
+    for (int f = 0; f < k; ++f) solver.add_unit(holds_at(f));
+    const Lit final_holds = holds_at(k);
+    if (solver.solve({~final_holds}) == sat::Result::unsat) {
+      result.status = CheckStatus::proved;
+    } else {
+      result.status = CheckStatus::no_cex_within_bound;
+    }
+    result.sat_conflicts += solver.statistics().conflicts;
+  }
+  return result;
+}
+
+}  // namespace symbad::mc

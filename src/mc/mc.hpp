@@ -1,0 +1,106 @@
+#pragma once
+// SAT-based model checking of RTL netlists (paper §3.4).
+//
+// Properties are boolean expressions over *named outputs* of a netlist:
+//   * invariant            G p
+//   * next implication     G (p -> X q)
+//   * bounded response     G (p -> F<=k q)
+//
+// Engines: bounded model checking (counter-example search over unrolled
+// frames from the reset state) and k-induction (for proofs of the two
+// safety forms). Bounded response is falsified by BMC and otherwise
+// reported as clean up to the bound.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtl/cnf.hpp"
+#include "rtl/netlist.hpp"
+
+namespace symbad::mc {
+
+/// Boolean expression over named netlist outputs.
+class Expr {
+public:
+  [[nodiscard]] static Expr signal(std::string output_name);
+  [[nodiscard]] static Expr constant(bool value);
+  [[nodiscard]] Expr operator!() const;
+  [[nodiscard]] Expr operator&&(const Expr& rhs) const;
+  [[nodiscard]] Expr operator||(const Expr& rhs) const;
+  [[nodiscard]] Expr implies(const Expr& rhs) const { return !(*this) || rhs; }
+
+  /// Literal of this expression in an encoded frame (adds Tseitin clauses).
+  [[nodiscard]] sat::Lit encode(rtl::CnfEncoder& encoder, const rtl::Frame& frame) const;
+  /// Evaluates against a simulator snapshot.
+  [[nodiscard]] bool eval(const rtl::Simulator& sim, const rtl::Netlist& netlist) const;
+  [[nodiscard]] std::string to_string() const;
+
+private:
+  enum class Kind { signal, constant, not_op, and_op, or_op };
+  Kind kind_ = Kind::constant;
+  bool value_ = false;
+  std::string name_;
+  std::shared_ptr<const Expr> lhs_;
+  std::shared_ptr<const Expr> rhs_;
+};
+
+enum class PropertyKind { invariant, next_implication, bounded_response };
+
+struct Property {
+  std::string name;
+  PropertyKind kind = PropertyKind::invariant;
+  Expr antecedent;  ///< p (for invariant: the invariant itself)
+  Expr consequent;  ///< q (unused for invariant)
+  int response_bound = 0;
+
+  [[nodiscard]] static Property invariant(std::string name, Expr p);
+  [[nodiscard]] static Property next(std::string name, Expr p, Expr q);
+  [[nodiscard]] static Property respond(std::string name, Expr p, Expr q, int within);
+};
+
+enum class CheckStatus {
+  proved,               ///< k-induction closed the property
+  falsified,            ///< counter-example found
+  no_cex_within_bound,  ///< BMC clean, induction inconclusive
+};
+
+/// A concrete input trace violating a property.
+struct Counterexample {
+  /// inputs[frame][input-name] = value.
+  std::vector<std::map<std::string, bool>> inputs;
+};
+
+struct CheckResult {
+  CheckStatus status = CheckStatus::no_cex_within_bound;
+  int bound_used = 0;
+  std::optional<Counterexample> counterexample;
+  std::uint64_t sat_conflicts = 0;
+};
+
+class ModelChecker {
+public:
+  struct Options {
+    int max_bound = 20;
+    int induction_depth = 4;  ///< k for k-induction
+  };
+
+  explicit ModelChecker(const rtl::Netlist& netlist) : netlist_{&netlist} {}
+
+  [[nodiscard]] CheckResult check(const Property& property, Options options) const;
+  [[nodiscard]] CheckResult check(const Property& property) const {
+    return check(property, Options{});
+  }
+
+  /// Checks a property on a *faulty* variant of the netlist (used by PCC).
+  [[nodiscard]] CheckResult check_with_faults(const Property& property,
+                                              const std::map<rtl::Net, bool>& faults,
+                                              Options options) const;
+
+private:
+  const rtl::Netlist* netlist_;
+};
+
+}  // namespace symbad::mc

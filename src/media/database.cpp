@@ -1,0 +1,59 @@
+#include "media/database.hpp"
+
+namespace symbad::media {
+
+Pose enrollment_pose(int identity, int pose_index) {
+  Pose pose;
+  pose.noise_seed = 0xE11ULL + static_cast<std::uint64_t>(identity) * 131 +
+                    static_cast<std::uint64_t>(pose_index);
+  switch (pose_index % 5) {
+    case 0: break;  // frontal
+    case 1:
+      pose.dx = 2;
+      pose.dy = 1;
+      break;
+    case 2:
+      pose.dx = -2;
+      pose.dy = -1;
+      break;
+    case 3: pose.rot_deg = 5; break;
+    case 4: pose.scale_q8 = 243; break;  // ~0.95 zoom
+    default: break;
+  }
+  // Additional enrollment rounds shift conditions slightly.
+  pose.light_offset = (pose_index / 5) * 4;
+  return pose;
+}
+
+FaceDatabase FaceDatabase::enroll(int identities, int poses_per_identity, int image_size,
+                                  const PipelineConfig& config) {
+  if (identities <= 0 || poses_per_identity <= 0) {
+    throw std::invalid_argument{"FaceDatabase::enroll: counts must be positive"};
+  }
+  FaceDatabase db;
+  db.identities_ = identities;
+  db.poses_ = poses_per_identity;
+  db.image_size_ = image_size;
+  db.entries_.reserve(static_cast<std::size_t>(identities) *
+                      static_cast<std::size_t>(poses_per_identity));
+  for (int id = 0; id < identities; ++id) {
+    const FaceParams params = FaceParams::for_identity(id);
+    for (int p = 0; p < poses_per_identity; ++p) {
+      const Image capture = camera_capture(params, enrollment_pose(id, p), image_size);
+      DbEntry entry;
+      entry.identity = id;
+      entry.pose_index = p;
+      entry.features = extract_features(capture, config);
+      db.entries_.push_back(std::move(entry));
+    }
+  }
+  return db;
+}
+
+std::size_t FaceDatabase::storage_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const auto& e : entries_) bytes += e.features.v.size() * sizeof(std::int16_t);
+  return bytes;
+}
+
+}  // namespace symbad::media

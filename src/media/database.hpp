@@ -1,0 +1,55 @@
+#pragma once
+// The face database (paper Figure 2, DATABASE): twenty identities enrolled
+// under multiple poses, stored as feature vectors in what the paper
+// describes as "an abstract representation of a nonvolatile memory system".
+
+#include <cstdint>
+#include <vector>
+
+#include "media/face_gen.hpp"
+#include "media/kernels.hpp"
+#include "media/pipeline.hpp"
+
+namespace symbad::media {
+
+/// One enrolled template.
+struct DbEntry {
+  int identity = 0;
+  int pose_index = 0;
+  FeatureVec features;
+};
+
+/// Deterministic enrollment pose for (identity, pose_index): small pose
+/// variations around frontal.
+[[nodiscard]] Pose enrollment_pose(int identity, int pose_index);
+
+class FaceDatabase {
+public:
+  /// Enrolls `identities` x `poses_per_identity` templates by running the
+  /// reference front end on rendered enrollment captures.
+  [[nodiscard]] static FaceDatabase enroll(int identities, int poses_per_identity,
+                                           int image_size = 64,
+                                           const PipelineConfig& config = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] int identities() const noexcept { return identities_; }
+  [[nodiscard]] int poses_per_identity() const noexcept { return poses_; }
+  [[nodiscard]] int image_size() const noexcept { return image_size_; }
+  [[nodiscard]] const DbEntry& entry(std::size_t i) const { return entries_.at(i); }
+  [[nodiscard]] const std::vector<DbEntry>& entries() const noexcept { return entries_; }
+  [[nodiscard]] int identity_of(std::size_t entry_index) const {
+    return entries_.at(entry_index).identity;
+  }
+
+  /// Bytes of nonvolatile storage the templates occupy (used for bus-traffic
+  /// modelling at levels 2/3).
+  [[nodiscard]] std::size_t storage_bytes() const noexcept;
+
+private:
+  std::vector<DbEntry> entries_;
+  int identities_ = 0;
+  int poses_ = 0;
+  int image_size_ = 0;
+};
+
+}  // namespace symbad::media

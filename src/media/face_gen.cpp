@@ -1,0 +1,165 @@
+#include "media/face_gen.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace symbad::media {
+
+namespace {
+
+/// Q15 sine table at 1-degree resolution, built once. Trigonometric values
+/// are quantised so that rendering is bit-exact across platforms.
+const std::array<int, 360>& sin_q15_table() {
+  static const std::array<int, 360> table = [] {
+    std::array<int, 360> t{};
+    for (int d = 0; d < 360; ++d) {
+      t[static_cast<std::size_t>(d)] =
+          static_cast<int>(std::lround(std::sin(d * 3.14159265358979323846 / 180.0) * 32768.0));
+    }
+    return t;
+  }();
+  return table;
+}
+
+int sin_q15(int deg) {
+  deg %= 360;
+  if (deg < 0) deg += 360;
+  return sin_q15_table()[static_cast<std::size_t>(deg)];
+}
+
+int cos_q15(int deg) { return sin_q15(deg + 90); }
+
+/// Integer test for point inside an axis-aligned ellipse (Q8 coords).
+constexpr bool in_ellipse_q8(std::int64_t x_q8, std::int64_t y_q8, std::int64_t a,
+                             std::int64_t b) noexcept {
+  // (x/a)^2 + (y/b)^2 <= 1, scaled: (x*b)^2 + (y*a)^2 <= (a*b*256)^2
+  const std::int64_t lhs = x_q8 * b * x_q8 * b + y_q8 * a * y_q8 * a;
+  const std::int64_t rhs = a * b * 256;
+  return lhs <= rhs * rhs;
+}
+
+constexpr int clamp255(int v) noexcept { return v < 0 ? 0 : (v > 255 ? 255 : v); }
+
+}  // namespace
+
+FaceParams FaceParams::for_identity(int id) {
+  verif::Rng rng{0xFACE0000ULL + static_cast<std::uint64_t>(id)};
+  FaceParams p;
+  p.head_a = static_cast<int>(rng.range(18, 24));
+  p.head_b = static_cast<int>(rng.range(24, 30));
+  p.eye_dx = static_cast<int>(rng.range(7, 11));
+  p.eye_y = static_cast<int>(rng.range(-9, -4));
+  p.eye_r = static_cast<int>(rng.range(2, 4));
+  p.pupil_r = 1;
+  p.brow_dy = static_cast<int>(rng.range(4, 7));
+  p.brow_len = static_cast<int>(rng.range(5, 9));
+  p.nose_len = static_cast<int>(rng.range(6, 11));
+  p.mouth_y = static_cast<int>(rng.range(10, 15));
+  p.mouth_w = static_cast<int>(rng.range(5, 10));
+  p.mouth_h = static_cast<int>(rng.range(1, 3));
+  p.skin = static_cast<int>(rng.range(135, 170));
+  p.hair = static_cast<int>(rng.range(40, 90));
+  p.hair_line = static_cast<int>(rng.range(-18, -11));
+  p.glasses = rng.chance(0.3);
+  return p;
+}
+
+int face_intensity(const FaceParams& p, int fx_q8, int fy_q8) {
+  // Background: soft vertical gradient.
+  int value = 210 - (fy_q8 >> 6);
+
+  if (in_ellipse_q8(fx_q8, fy_q8, p.head_a, p.head_b)) {
+    value = p.skin;
+    // Hair: upper part of the head.
+    if (fy_q8 < p.hair_line * 256) value = p.hair;
+
+    const int ax = fx_q8 < 0 ? -fx_q8 : fx_q8;  // |x|
+    // Eyes (mirrored left/right).
+    const std::int64_t ex = ax - p.eye_dx * 256;
+    const std::int64_t ey = fy_q8 - p.eye_y * 256;
+    if (in_ellipse_q8(ex, ey, p.eye_r + 1, p.eye_r)) value = 200;  // sclera
+    if (in_ellipse_q8(ex, ey, p.pupil_r + 1, p.pupil_r)) value = 25;  // pupil
+    // Eyebrows.
+    const int brow_y = (p.eye_y - p.brow_dy) * 256;
+    if (fy_q8 >= brow_y - 128 && fy_q8 <= brow_y + 128 &&
+        ax >= (p.eye_dx - p.brow_len) * 256 && ax <= (p.eye_dx + p.brow_len / 2) * 256) {
+      value = 50;
+    }
+    // Glasses: ring around each eye.
+    if (p.glasses) {
+      const bool outer = in_ellipse_q8(ex, ey, p.eye_r + 3, p.eye_r + 2);
+      const bool inner = in_ellipse_q8(ex, ey, p.eye_r + 2, p.eye_r + 1);
+      if (outer && !inner) value = 35;
+      // Bridge between lenses.
+      if (fy_q8 >= (p.eye_y - 1) * 256 && fy_q8 <= (p.eye_y + 1) * 256 &&
+          ax <= (p.eye_dx - p.eye_r - 2) * 256) {
+        value = 35;
+      }
+    }
+    // Nose: vertical stroke from eye line downward.
+    if (ax <= 192 && fy_q8 >= p.eye_y * 256 && fy_q8 <= (p.eye_y + p.nose_len) * 256) {
+      value = p.skin - 30;
+    }
+    // Mouth.
+    if (ax <= p.mouth_w * 256 && fy_q8 >= (p.mouth_y - p.mouth_h) * 256 &&
+        fy_q8 <= (p.mouth_y + p.mouth_h) * 256) {
+      value = 70;
+    }
+  }
+  return clamp255(value);
+}
+
+Image render_face(const FaceParams& params, const Pose& pose, int size) {
+  Image out{size, size};
+  const int half = size / 2;
+  const int c = cos_q15(-pose.rot_deg);
+  const int s = sin_q15(-pose.rot_deg);
+  // Canonical geometry is defined for a 64x64 frame; scale accordingly.
+  const std::int64_t frame_scale_q8 = (64 * 256) / size;
+  const std::int64_t inv_zoom_q8 = (256 * 256) / pose.scale_q8;
+
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      // Target pixel -> centred coords, undo translation.
+      const std::int64_t tx = (x - half - pose.dx);
+      const std::int64_t ty = (y - half - pose.dy);
+      // Undo rotation (Q15 trig -> Q8 coordinates).
+      std::int64_t rx_q8 = (tx * c - ty * s) >> 7;  // *256/32768
+      std::int64_t ry_q8 = (tx * s + ty * c) >> 7;
+      // Undo zoom and frame scaling.
+      rx_q8 = rx_q8 * inv_zoom_q8 / 256;
+      ry_q8 = ry_q8 * inv_zoom_q8 / 256;
+      rx_q8 = rx_q8 * frame_scale_q8 / 256;
+      ry_q8 = ry_q8 * frame_scale_q8 / 256;
+      out.px(x, y) = static_cast<std::uint16_t>(
+          face_intensity(params, static_cast<int>(rx_q8), static_cast<int>(ry_q8)));
+    }
+  }
+  return out;
+}
+
+Image camera_capture(const FaceParams& params, const Pose& pose, int size) {
+  const Image scene = render_face(params, pose, size);
+  Image bayer{size, size};
+  verif::Rng noise{pose.noise_seed};
+  // Spectral response per RGGB site relative to the gray scene
+  // (Q8 gains: R=0.85, G=1.0, B=0.75).
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      const bool even_row = (y & 1) == 0;
+      const bool even_col = (x & 1) == 0;
+      int gain_q8 = 256;  // green
+      if (even_row && even_col) gain_q8 = 218;       // red site
+      else if (!even_row && !even_col) gain_q8 = 192; // blue site
+      int v = static_cast<int>(scene.px(x, y)) * gain_q8 / 256;
+      v += pose.light_offset;
+      if (pose.noise_amp > 0) {
+        v += static_cast<int>(noise.range(-pose.noise_amp, pose.noise_amp));
+      }
+      bayer.px(x, y) = static_cast<std::uint16_t>(clamp255(v));
+    }
+  }
+  return bayer;
+}
+
+}  // namespace symbad::media

@@ -1,0 +1,161 @@
+#include "media/pipeline.hpp"
+
+#include <algorithm>
+
+#include "media/database.hpp"
+
+namespace symbad::media {
+
+namespace {
+
+using verif::BitFault;
+using verif::PortDirection;
+
+/// Applies a bit fault to an image if it targets `stage_name`/`port`.
+void maybe_fault_image(Image& image, const char* stage_name, PortDirection port,
+                       const BitFault* fault) {
+  if (fault == nullptr || fault->stage != stage_name || fault->port != port) return;
+  const auto n = image.pixel_count();
+  if (n == 0) return;
+  const auto idx = static_cast<std::size_t>(fault->word_index) % n;
+  auto pixels = image.data();
+  pixels[idx] = static_cast<std::uint16_t>(
+      verif::apply_bit_fault(pixels[idx], fault->word_index % static_cast<int>(n),
+                             BitFault{fault->stage, fault->port,
+                                      fault->word_index % static_cast<int>(n), fault->bit,
+                                      fault->stuck_to}));
+}
+
+void maybe_fault_features(FeatureVec& f, const char* stage_name, PortDirection port,
+                          const BitFault* fault) {
+  if (fault == nullptr || fault->stage != stage_name || fault->port != port) return;
+  if (f.v.empty()) return;
+  const auto idx = static_cast<std::size_t>(fault->word_index) % f.v.size();
+  const std::uint32_t raw = static_cast<std::uint16_t>(f.v[idx]);
+  const std::uint32_t patched = verif::apply_bit_fault(
+      raw, static_cast<int>(idx),
+      BitFault{fault->stage, fault->port, static_cast<int>(idx), fault->bit % 16,
+               fault->stuck_to});
+  f.v[idx] = static_cast<std::int16_t>(static_cast<std::uint16_t>(patched));
+}
+
+media::Ctx stage_ctx(const char* stage_name, PipelineProfile* profile,
+                     std::uint64_t* ops_slot) {
+  media::Ctx ctx;
+  ctx.cov = verif::CoverageDb::active_module(stage_name);
+  if (profile != nullptr) ctx.ops = ops_slot;
+  return ctx;
+}
+
+}  // namespace
+
+std::vector<std::string> PipelineProfile::ranking() const {
+  std::vector<std::string> names;
+  names.reserve(ops_.size());
+  for (const auto& [s, n] : ops_) names.push_back(s);
+  std::sort(names.begin(), names.end(), [this](const std::string& a, const std::string& b) {
+    const auto oa = ops_.at(a);
+    const auto ob = ops_.at(b);
+    if (oa != ob) return oa > ob;
+    return a < b;
+  });
+  return names;
+}
+
+FeatureVec extract_features(const Image& bayer, const PipelineConfig& config,
+                            PipelineProfile* profile, StageTraces* traces,
+                            const verif::BitFault* fault, FrontEndState* state,
+                            EllipseFit* fit_out) {
+  std::uint64_t ops = 0;
+  auto commit_ops = [&](const char* stage_name) {
+    if (profile != nullptr) profile->add(stage_name, ops);
+    ops = 0;
+  };
+
+  Image input = bayer;
+  maybe_fault_image(input, stage::bay, PortDirection::input, fault);
+
+  Image luma = bay_demosaic_luma(input, stage_ctx(stage::bay, profile, &ops));
+  commit_ops(stage::bay);
+  maybe_fault_image(luma, stage::bay, PortDirection::output, fault);
+  if (traces != nullptr) traces->bay = luma.checksum();
+
+  Image eroded = erode3x3(luma, stage_ctx(stage::erosion, profile, &ops));
+  commit_ops(stage::erosion);
+  maybe_fault_image(eroded, stage::erosion, PortDirection::output, fault);
+  if (traces != nullptr) traces->erosion = eroded.checksum();
+
+  Image rooted = root_transform(eroded, stage_ctx(stage::root, profile, &ops));
+  commit_ops(stage::root);
+  maybe_fault_image(rooted, stage::root, PortDirection::output, fault);
+  if (traces != nullptr) traces->root = rooted.checksum();
+
+  EdgeResult edges =
+      sobel_edge(rooted, config.edge_threshold, stage_ctx(stage::edge, profile, &ops));
+  commit_ops(stage::edge);
+  maybe_fault_image(edges.binary, stage::edge, PortDirection::output, fault);
+  if (traces != nullptr) traces->edge = edges.binary.checksum();
+
+  EllipseFit fit = fit_ellipse(edges.binary, stage_ctx(stage::ellipse, profile, &ops));
+  commit_ops(stage::ellipse);
+  if (fit_out != nullptr) *fit_out = fit;
+
+  Image window =
+      crop_border(luma, fit, config.window_size, stage_ctx(stage::crtbord, profile, &ops));
+  commit_ops(stage::crtbord);
+  if (config.seeded_memory_bug && state != nullptr) {
+    // BUG (seeded, see PipelineConfig): the window buffer is recycled from
+    // the previous frame without re-initialisation; its first row leaks.
+    Image& stale = state->stale_window();
+    if (!stale.empty() && stale.width() == window.width() &&
+        stale.height() == window.height()) {
+      const int mid = stale.height() / 2;
+      for (int x = 0; x < window.width(); ++x) window.px(x, 0) = stale.px(x, mid);
+    }
+    stale = window;
+  }
+  maybe_fault_image(window, stage::crtbord, PortDirection::output, fault);
+  if (traces != nullptr) traces->window = window.checksum();
+
+  LineProfiles profiles = create_lines(window, stage_ctx(stage::crtline, profile, &ops));
+  commit_ops(stage::crtline);
+
+  FeatureVec features =
+      calc_line_features(profiles, stage_ctx(stage::calcline, profile, &ops));
+  commit_ops(stage::calcline);
+  maybe_fault_features(features, stage::calcline, PortDirection::output, fault);
+  if (traces != nullptr) traces->features = features.checksum();
+
+  return features;
+}
+
+RecognitionResult recognize(const Image& bayer, const FaceDatabase& db,
+                            const PipelineConfig& config, PipelineProfile* profile,
+                            const verif::BitFault* fault, FrontEndState* state) {
+  RecognitionResult result;
+  result.features =
+      extract_features(bayer, config, profile, &result.traces, fault, state);
+
+  std::uint64_t ops = 0;
+  media::Ctx dist_ctx = stage_ctx(stage::distance, profile, &ops);
+  result.distances.reserve(db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    result.distances.push_back(
+        calc_distance(result.features, db.entry(i).features, dist_ctx));
+  }
+  if (profile != nullptr) profile->add(stage::distance, ops);
+  ops = 0;
+
+  media::Ctx win_ctx = stage_ctx(stage::winner, profile, &ops);
+  result.winner = pick_winner(result.distances, win_ctx);
+  if (profile != nullptr) profile->add(stage::winner, ops);
+
+  if (result.winner.index >= 0 && result.winner.confident) {
+    result.identity = db.identity_of(static_cast<std::size_t>(result.winner.index));
+  } else if (result.winner.index >= 0) {
+    result.identity = db.identity_of(static_cast<std::size_t>(result.winner.index));
+  }
+  return result;
+}
+
+}  // namespace symbad::media

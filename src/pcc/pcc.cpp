@@ -1,0 +1,131 @@
+#include "pcc/pcc.hpp"
+
+#include <deque>
+
+#include "verif/rng.hpp"
+
+namespace symbad::pcc {
+
+namespace {
+
+/// Runs random stimulus against the faulty simulator and reports the first
+/// property violated, if any.
+const mc::Property* simulate_detects(const rtl::Netlist& netlist,
+                                     const std::vector<mc::Property>& properties,
+                                     rtl::Net fault_net, bool stuck_to,
+                                     const PccOptions& options, verif::Rng& rng) {
+  rtl::Simulator sim{netlist};
+  for (int run = 0; run < options.simulation_runs; ++run) {
+    sim.reset();
+    sim.clear_faults();
+    sim.inject_stuck_at(fault_net, stuck_to);
+    // Sliding windows for next-implication / bounded-response checks.
+    std::vector<bool> prev_p(properties.size(), false);
+    std::vector<std::deque<int>> pending(properties.size());  // response deadlines
+    bool first_cycle = true;
+
+    for (int cycle = 0; cycle < options.simulation_cycles; ++cycle) {
+      for (const rtl::Net in : netlist.inputs()) {
+        sim.set_input(in, (rng.next() & 1) != 0);
+      }
+      sim.eval();
+      for (std::size_t i = 0; i < properties.size(); ++i) {
+        const auto& prop = properties[i];
+        const bool p = prop.antecedent.eval(sim, netlist);
+        switch (prop.kind) {
+          case mc::PropertyKind::invariant:
+            if (!p) return &prop;
+            break;
+          case mc::PropertyKind::next_implication: {
+            const bool q = prop.consequent.eval(sim, netlist);
+            if (!first_cycle && prev_p[i] && !q) return &prop;
+            prev_p[i] = p;
+            break;
+          }
+          case mc::PropertyKind::bounded_response: {
+            const bool q = prop.consequent.eval(sim, netlist);
+            auto& deadlines = pending[i];
+            if (q) {
+              deadlines.clear();
+            } else {
+              for (int& d : deadlines) {
+                if (--d < 0) return &prop;
+              }
+            }
+            if (p && !q) deadlines.push_back(prop.response_bound);
+            break;
+          }
+        }
+      }
+      first_cycle = false;
+      sim.step();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+PccReport check_property_coverage(const rtl::Netlist& netlist,
+                                  const std::vector<mc::Property>& properties,
+                                  const PccOptions& options) {
+  // Candidate faults: both stuck-at polarities on every internal net.
+  std::vector<std::pair<rtl::Net, bool>> faults;
+  for (std::size_t i = 0; i < netlist.gate_count(); ++i) {
+    const auto kind = netlist.gate(static_cast<rtl::Net>(i)).kind;
+    if (kind == rtl::GateKind::const0 || kind == rtl::GateKind::const1 ||
+        kind == rtl::GateKind::input) {
+      continue;
+    }
+    faults.emplace_back(static_cast<rtl::Net>(i), false);
+    faults.emplace_back(static_cast<rtl::Net>(i), true);
+  }
+  if (options.max_faults > 0 && faults.size() > options.max_faults) {
+    // Deterministic uniform sampling.
+    std::vector<std::pair<rtl::Net, bool>> sampled;
+    const double stride = static_cast<double>(faults.size()) /
+                          static_cast<double>(options.max_faults);
+    for (std::size_t k = 0; k < options.max_faults; ++k) {
+      sampled.push_back(faults[static_cast<std::size_t>(k * stride)]);
+    }
+    faults = std::move(sampled);
+  }
+
+  PccReport report;
+  report.total_faults = faults.size();
+  verif::Rng rng{options.seed};
+  const mc::ModelChecker checker{netlist};
+  mc::ModelChecker::Options mc_opts;
+  mc_opts.max_bound = options.bmc_bound;
+
+  for (const auto& [net, stuck_to] : faults) {
+    FaultOutcome outcome;
+    outcome.net = net;
+    outcome.stuck_to = stuck_to;
+
+    if (const mc::Property* by_sim =
+            simulate_detects(netlist, properties, net, stuck_to, options, rng)) {
+      outcome.detected = true;
+      outcome.detected_by = by_sim->name;
+      outcome.detected_by_simulation = true;
+      ++report.detected;
+      ++report.detected_by_simulation;
+      continue;
+    }
+    std::map<rtl::Net, bool> fault_map{{net, stuck_to}};
+    for (const auto& prop : properties) {
+      const auto r = checker.check_with_faults(prop, fault_map, mc_opts);
+      if (r.status == mc::CheckStatus::falsified) {
+        outcome.detected = true;
+        outcome.detected_by = prop.name;
+        ++report.detected;
+        ++report.detected_by_bmc;
+        break;
+      }
+    }
+    if (!outcome.detected) report.undetected.push_back(outcome);
+  }
+  return report;
+}
+
+}  // namespace symbad::pcc

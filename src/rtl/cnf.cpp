@@ -1,0 +1,124 @@
+#include "rtl/cnf.hpp"
+
+#include <stdexcept>
+
+namespace symbad::rtl {
+
+using sat::Lit;
+
+CnfEncoder::CnfEncoder(const Netlist& netlist, sat::Solver& solver)
+    : netlist_{&netlist}, solver_{&solver} {
+  netlist.validate();
+}
+
+Lit CnfEncoder::true_lit() {
+  if (!true_lit_) {
+    const sat::Var v = solver_->new_var();
+    solver_->add_unit(Lit::positive(v));
+    true_lit_ = Lit::positive(v);
+  }
+  return *true_lit_;
+}
+
+Frame CnfEncoder::encode(const Options& options) {
+  if (options.state == StateInit::chained && options.previous == nullptr) {
+    throw std::invalid_argument{"cnf: chained frame needs a previous frame"};
+  }
+  auto& s = *solver_;
+  const Lit lit_true = true_lit();
+  const Lit lit_false = ~lit_true;
+
+  Frame frame;
+  frame.lits.resize(netlist_->gate_count());
+
+  std::size_t input_slot = 0;
+  std::size_t dff_slot = 0;
+  const auto& dffs = netlist_->flip_flops();
+  (void)dffs;
+
+  for (std::size_t i = 0; i < netlist_->gate_count(); ++i) {
+    const Net net = static_cast<Net>(i);
+    const Gate& g = netlist_->gate(net);
+    Lit out;
+    // Fault overrides replace the gate's function entirely.
+    if (options.faults != nullptr) {
+      const auto it = options.faults->find(net);
+      if (it != options.faults->end()) {
+        frame.lits[i] = it->second ? lit_true : lit_false;
+        if (g.kind == GateKind::input) ++input_slot;
+        if (g.kind == GateKind::dff) ++dff_slot;
+        continue;
+      }
+    }
+    switch (g.kind) {
+      case GateKind::const0: out = lit_false; break;
+      case GateKind::const1: out = lit_true; break;
+      case GateKind::input: {
+        if (options.shared_inputs != nullptr) {
+          out = options.shared_inputs->at(input_slot);
+        } else {
+          out = Lit::positive(s.new_var());
+        }
+        ++input_slot;
+        break;
+      }
+      case GateKind::not_gate:
+        out = ~frame.lits[static_cast<std::size_t>(g.a)];
+        break;
+      case GateKind::and_gate: {
+        const Lit a = frame.lits[static_cast<std::size_t>(g.a)];
+        const Lit b = frame.lits[static_cast<std::size_t>(g.b)];
+        out = Lit::positive(s.new_var());
+        s.add_binary(~out, a);
+        s.add_binary(~out, b);
+        s.add_ternary(out, ~a, ~b);
+        break;
+      }
+      case GateKind::or_gate: {
+        const Lit a = frame.lits[static_cast<std::size_t>(g.a)];
+        const Lit b = frame.lits[static_cast<std::size_t>(g.b)];
+        out = Lit::positive(s.new_var());
+        s.add_binary(out, ~a);
+        s.add_binary(out, ~b);
+        s.add_ternary(~out, a, b);
+        break;
+      }
+      case GateKind::xor_gate: {
+        const Lit a = frame.lits[static_cast<std::size_t>(g.a)];
+        const Lit b = frame.lits[static_cast<std::size_t>(g.b)];
+        out = Lit::positive(s.new_var());
+        s.add_ternary(~out, a, b);
+        s.add_ternary(~out, ~a, ~b);
+        s.add_ternary(out, ~a, b);
+        s.add_ternary(out, a, ~b);
+        break;
+      }
+      case GateKind::mux: {
+        const Lit sel = frame.lits[static_cast<std::size_t>(g.a)];
+        const Lit t = frame.lits[static_cast<std::size_t>(g.b)];
+        const Lit e = frame.lits[static_cast<std::size_t>(g.c)];
+        out = Lit::positive(s.new_var());
+        s.add_ternary(~sel, ~t, out);
+        s.add_ternary(~sel, t, ~out);
+        s.add_ternary(sel, ~e, out);
+        s.add_ternary(sel, e, ~out);
+        break;
+      }
+      case GateKind::dff: {
+        switch (options.state) {
+          case StateInit::reset: out = g.init ? lit_true : lit_false; break;
+          case StateInit::free_state: out = Lit::positive(s.new_var()); break;
+          case StateInit::chained:
+            out = options.previous->lits[static_cast<std::size_t>(g.a)];
+            break;
+        }
+        ++dff_slot;
+        break;
+      }
+    }
+    frame.lits[i] = out;
+  }
+  return frame;
+}
+
+}  // namespace symbad::rtl

@@ -1,0 +1,61 @@
+#pragma once
+// Tseitin CNF encoding of netlist time frames.
+//
+// The bridge from RTL to the SAT solver used by bounded model checking,
+// k-induction and SAT-based ATPG. A `Frame` maps every net of a netlist at
+// one point in time to a SAT literal; frames chain through flip-flops
+// (frame k+1's state literals are frame k's next-state literals).
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace symbad::rtl {
+
+/// One unrolled time frame: a literal per net.
+struct Frame {
+  std::vector<sat::Lit> lits;
+
+  [[nodiscard]] sat::Lit lit(Net n) const { return lits.at(static_cast<std::size_t>(n)); }
+};
+
+/// How flip-flop values are constrained in the frame being encoded.
+enum class StateInit {
+  reset,       ///< flip-flops tied to their reset values (BMC frame 0)
+  free_state,  ///< flip-flops are unconstrained fresh variables (induction)
+  chained,     ///< flip-flops take the previous frame's next-state literals
+};
+
+class CnfEncoder {
+public:
+  CnfEncoder(const Netlist& netlist, sat::Solver& solver);
+
+  struct Options {
+    StateInit state = StateInit::reset;
+    const Frame* previous = nullptr;  ///< required when state == chained
+    /// Optional shared input literals (e.g. ATPG miters drive two copies of
+    /// a circuit with the same stimuli). Indexed like Netlist::inputs().
+    const std::vector<sat::Lit>* shared_inputs = nullptr;
+    /// Stuck-at fault overrides: net -> forced value.
+    const std::map<Net, bool>* faults = nullptr;
+  };
+
+  /// Encodes one time frame; adds Tseitin clauses to the solver.
+  [[nodiscard]] Frame encode(const Options& options);
+
+  /// Literal that is always true (for building custom constraints).
+  [[nodiscard]] sat::Lit true_lit();
+
+  [[nodiscard]] const Netlist& netlist() const noexcept { return *netlist_; }
+  [[nodiscard]] sat::Solver& solver() noexcept { return *solver_; }
+
+private:
+  const Netlist* netlist_;
+  sat::Solver* solver_;
+  std::optional<sat::Lit> true_lit_;
+};
+
+}  // namespace symbad::rtl

@@ -1,0 +1,297 @@
+#include "rtl/netlist.hpp"
+
+#include <algorithm>
+
+namespace symbad::rtl {
+
+// ------------------------------------------------------------- Netlist
+
+Net Netlist::add_gate(GateKind kind, Net a, Net b, Net c) {
+  gates_.push_back(Gate{kind, a, b, c, false});
+  return static_cast<Net>(gates_.size()) - 1;
+}
+
+void Netlist::check_operand(Net n) const {
+  if (n < 0 || static_cast<std::size_t>(n) >= gates_.size()) {
+    throw std::out_of_range{"rtl: operand net does not exist yet"};
+  }
+}
+
+Net Netlist::constant(bool value) {
+  return add_gate(value ? GateKind::const1 : GateKind::const0);
+}
+
+Net Netlist::add_input(std::string name) {
+  if (input_index_.contains(name)) {
+    throw std::invalid_argument{"rtl: duplicate input name '" + name + "'"};
+  }
+  const Net n = add_gate(GateKind::input);
+  inputs_.push_back(n);
+  input_index_.emplace(name, n);
+  names_.emplace(n, std::move(name));
+  return n;
+}
+
+Net Netlist::add_and(Net a, Net b) {
+  check_operand(a);
+  check_operand(b);
+  return add_gate(GateKind::and_gate, a, b);
+}
+
+Net Netlist::add_or(Net a, Net b) {
+  check_operand(a);
+  check_operand(b);
+  return add_gate(GateKind::or_gate, a, b);
+}
+
+Net Netlist::add_xor(Net a, Net b) {
+  check_operand(a);
+  check_operand(b);
+  return add_gate(GateKind::xor_gate, a, b);
+}
+
+Net Netlist::add_not(Net a) {
+  check_operand(a);
+  return add_gate(GateKind::not_gate, a);
+}
+
+Net Netlist::add_mux(Net sel, Net then_net, Net else_net) {
+  check_operand(sel);
+  check_operand(then_net);
+  check_operand(else_net);
+  return add_gate(GateKind::mux, sel, then_net, else_net);
+}
+
+Net Netlist::add_dff(bool init, std::string name) {
+  const Net n = add_gate(GateKind::dff);
+  gates_.back().init = init;
+  dffs_.push_back(n);
+  if (!name.empty()) names_.emplace(n, std::move(name));
+  return n;
+}
+
+void Netlist::connect_next(Net dff, Net next) {
+  check_operand(dff);
+  check_operand(next);
+  auto& g = gates_[static_cast<std::size_t>(dff)];
+  if (g.kind != GateKind::dff) throw std::invalid_argument{"rtl: connect_next on non-dff"};
+  if (g.a >= 0) throw std::logic_error{"rtl: dff next-state already connected"};
+  g.a = next;
+}
+
+void Netlist::set_output(const std::string& name, Net net) {
+  check_operand(net);
+  outputs_[name] = net;
+}
+
+Net Netlist::input(const std::string& name) const {
+  const auto it = input_index_.find(name);
+  if (it == input_index_.end()) throw std::out_of_range{"rtl: no input '" + name + "'"};
+  return it->second;
+}
+
+Net Netlist::output(const std::string& name) const {
+  const auto it = outputs_.find(name);
+  if (it == outputs_.end()) throw std::out_of_range{"rtl: no output '" + name + "'"};
+  return it->second;
+}
+
+const std::string& Netlist::net_name(Net n) const {
+  static const std::string kEmpty;
+  const auto it = names_.find(n);
+  return it == names_.end() ? kEmpty : it->second;
+}
+
+std::map<GateKind, std::size_t> Netlist::gate_histogram() const {
+  std::map<GateKind, std::size_t> hist;
+  for (const auto& g : gates_) ++hist[g.kind];
+  return hist;
+}
+
+double Netlist::area_estimate() const {
+  // Unit-area weights loosely modelled on standard-cell relative sizes.
+  double area = 0.0;
+  for (const auto& g : gates_) {
+    switch (g.kind) {
+      case GateKind::and_gate:
+      case GateKind::or_gate: area += 1.0; break;
+      case GateKind::xor_gate: area += 1.5; break;
+      case GateKind::not_gate: area += 0.5; break;
+      case GateKind::mux: area += 2.0; break;
+      case GateKind::dff: area += 4.0; break;
+      default: break;  // constants and inputs are free
+    }
+  }
+  return area;
+}
+
+void Netlist::validate() const {
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const auto& g = gates_[i];
+    auto check = [this, i](Net n, bool allow_any_index) {
+      if (n < 0 || static_cast<std::size_t>(n) >= gates_.size()) {
+        throw std::logic_error{"rtl: gate " + std::to_string(i) + " has invalid operand"};
+      }
+      if (!allow_any_index && static_cast<std::size_t>(n) >= i) {
+        throw std::logic_error{"rtl: combinational gate " + std::to_string(i) +
+                               " references a later net"};
+      }
+    };
+    switch (g.kind) {
+      case GateKind::and_gate:
+      case GateKind::or_gate:
+      case GateKind::xor_gate:
+        check(g.a, false);
+        check(g.b, false);
+        break;
+      case GateKind::not_gate:
+        check(g.a, false);
+        break;
+      case GateKind::mux:
+        check(g.a, false);
+        check(g.b, false);
+        check(g.c, false);
+        break;
+      case GateKind::dff:
+        if (g.a < 0) {
+          throw std::logic_error{"rtl: flip-flop " + std::to_string(i) +
+                                 " has no next-state net"};
+        }
+        check(g.a, true);  // sequential loop allowed
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+// ----------------------------------------------------------- Simulator
+
+Simulator::Simulator(const Netlist& netlist) : netlist_{&netlist} {
+  netlist.validate();
+  values_.assign(netlist.gate_count(), 0);
+  fault_.assign(netlist.gate_count(), -1);
+  const auto& dffs = netlist.flip_flops();
+  state_.assign(dffs.size(), 0);
+  for (std::size_t i = 0; i < dffs.size(); ++i) dff_slot_[dffs[i]] = i;
+  const auto& ins = netlist.inputs();
+  input_vals_.assign(ins.size(), 0);
+  for (std::size_t i = 0; i < ins.size(); ++i) input_slot_[ins[i]] = i;
+  reset();
+}
+
+void Simulator::reset() {
+  const auto& dffs = netlist_->flip_flops();
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    state_[i] = netlist_->gate(dffs[i]).init ? 1 : 0;
+  }
+  std::fill(input_vals_.begin(), input_vals_.end(), 0);
+  cycles_ = 0;
+  eval();
+}
+
+void Simulator::set_input(const std::string& name, bool value) {
+  set_input(netlist_->input(name), value);
+}
+
+void Simulator::set_input(Net input_net, bool value) {
+  const auto it = input_slot_.find(input_net);
+  if (it == input_slot_.end()) throw std::invalid_argument{"rtl: not an input net"};
+  input_vals_[it->second] = value ? 1 : 0;
+}
+
+void Simulator::eval() {
+  const std::size_t n = netlist_->gate_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Gate& g = netlist_->gate(static_cast<Net>(i));
+    char v = 0;
+    switch (g.kind) {
+      case GateKind::const0: v = 0; break;
+      case GateKind::const1: v = 1; break;
+      case GateKind::input: v = input_vals_[input_slot_.at(static_cast<Net>(i))]; break;
+      case GateKind::and_gate:
+        v = static_cast<char>(values_[static_cast<std::size_t>(g.a)] &
+                              values_[static_cast<std::size_t>(g.b)]);
+        break;
+      case GateKind::or_gate:
+        v = static_cast<char>(values_[static_cast<std::size_t>(g.a)] |
+                              values_[static_cast<std::size_t>(g.b)]);
+        break;
+      case GateKind::xor_gate:
+        v = static_cast<char>(values_[static_cast<std::size_t>(g.a)] ^
+                              values_[static_cast<std::size_t>(g.b)]);
+        break;
+      case GateKind::not_gate:
+        v = static_cast<char>(1 - values_[static_cast<std::size_t>(g.a)]);
+        break;
+      case GateKind::mux:
+        v = values_[static_cast<std::size_t>(g.a)] != 0
+                ? values_[static_cast<std::size_t>(g.b)]
+                : values_[static_cast<std::size_t>(g.c)];
+        break;
+      case GateKind::dff: v = state_[dff_slot_.at(static_cast<Net>(i))]; break;
+    }
+    if (fault_count_ > 0) {
+      const signed char f = fault_[i];
+      if (f >= 0) v = f;
+    }
+    values_[i] = v;
+  }
+}
+
+void Simulator::step() {
+  eval();
+  const auto& dffs = netlist_->flip_flops();
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    const Gate& g = netlist_->gate(dffs[i]);
+    state_[i] = values_[static_cast<std::size_t>(g.a)];
+  }
+  ++cycles_;
+  eval();  // outputs reflect the new state
+}
+
+bool Simulator::output(const std::string& name) const {
+  return value(netlist_->output(name));
+}
+
+void Simulator::inject_stuck_at(Net net, bool value) {
+  if (net < 0 || static_cast<std::size_t>(net) >= fault_.size()) {
+    throw std::out_of_range{"rtl: fault on unknown net"};
+  }
+  if (fault_[static_cast<std::size_t>(net)] < 0) ++fault_count_;
+  fault_[static_cast<std::size_t>(net)] = value ? 1 : 0;
+}
+
+void Simulator::clear_faults() {
+  std::fill(fault_.begin(), fault_.end(), static_cast<signed char>(-1));
+  fault_count_ = 0;
+}
+
+std::uint64_t Simulator::state_bits() const {
+  if (state_.size() > 64) {
+    throw std::logic_error{"rtl: state_bits requires <= 64 flip-flops"};
+  }
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    if (state_[i] != 0) bits |= std::uint64_t{1} << i;
+  }
+  return bits;
+}
+
+void Simulator::force_state(std::uint64_t bits) {
+  if (state_.size() > 64) {
+    throw std::logic_error{"rtl: force_state requires <= 64 flip-flops"};
+  }
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    state_[i] = ((bits >> i) & 1) != 0 ? 1 : 0;
+  }
+  eval();
+}
+
+void Simulator::force_inputs(std::uint64_t bits) {
+  for (std::size_t i = 0; i < input_vals_.size(); ++i) {
+    input_vals_[i] = ((bits >> i) & 1) != 0 ? 1 : 0;
+  }
+}
+
+}  // namespace symbad::rtl

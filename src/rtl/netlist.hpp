@@ -1,0 +1,161 @@
+#pragma once
+// Gate-level RTL intermediate representation.
+//
+// Level 4 of the Symbad flow produces RTL; our IR is a synchronous gate
+// netlist: primary inputs, one implicit clock, D flip-flops with reset
+// values, and combinational gates (AND/OR/XOR/NOT/MUX/constants).
+//
+// Construction enforces that a gate's operands already exist, so the
+// combinational part is acyclic by construction and can be evaluated in
+// creation order; sequential loops close only through flip-flops
+// (`connect_next`).
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace symbad::rtl {
+
+/// Index of a net (the output of a gate) within a netlist.
+using Net = int;
+
+enum class GateKind : std::uint8_t {
+  const0,
+  const1,
+  input,
+  and_gate,
+  or_gate,
+  xor_gate,
+  not_gate,
+  mux,  ///< a ? b : c
+  dff,  ///< state element; `a` is the next-state net once connected
+};
+
+[[nodiscard]] constexpr const char* to_string(GateKind k) noexcept {
+  switch (k) {
+    case GateKind::const0: return "const0";
+    case GateKind::const1: return "const1";
+    case GateKind::input: return "input";
+    case GateKind::and_gate: return "and";
+    case GateKind::or_gate: return "or";
+    case GateKind::xor_gate: return "xor";
+    case GateKind::not_gate: return "not";
+    case GateKind::mux: return "mux";
+    case GateKind::dff: return "dff";
+  }
+  return "?";
+}
+
+struct Gate {
+  GateKind kind = GateKind::const0;
+  Net a = -1;  ///< first operand / mux select / dff next-state
+  Net b = -1;  ///< second operand / mux "then"
+  Net c = -1;  ///< mux "else"
+  bool init = false;  ///< dff reset value
+};
+
+/// A synchronous gate-level netlist.
+class Netlist {
+public:
+  explicit Netlist(std::string name = "netlist") : name_{std::move(name)} {}
+
+  // ------------------------------------------------------ construction
+  [[nodiscard]] Net constant(bool value);
+  [[nodiscard]] Net add_input(std::string name);
+  [[nodiscard]] Net add_and(Net a, Net b);
+  [[nodiscard]] Net add_or(Net a, Net b);
+  [[nodiscard]] Net add_xor(Net a, Net b);
+  [[nodiscard]] Net add_not(Net a);
+  [[nodiscard]] Net add_mux(Net sel, Net then_net, Net else_net);
+  /// Creates a flip-flop with a reset value; its next-state input is
+  /// connected later with `connect_next` (allowing sequential loops).
+  [[nodiscard]] Net add_dff(bool init, std::string name = {});
+  void connect_next(Net dff, Net next);
+
+  /// Registers `net` as a named primary output.
+  void set_output(const std::string& name, Net net);
+
+  // --------------------------------------------------------- accessors
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t gate_count() const noexcept { return gates_.size(); }
+  [[nodiscard]] const Gate& gate(Net n) const { return gates_.at(static_cast<std::size_t>(n)); }
+  [[nodiscard]] const std::vector<Net>& inputs() const noexcept { return inputs_; }
+  [[nodiscard]] const std::vector<Net>& flip_flops() const noexcept { return dffs_; }
+  [[nodiscard]] const std::map<std::string, Net>& outputs() const noexcept { return outputs_; }
+  [[nodiscard]] Net input(const std::string& name) const;
+  [[nodiscard]] Net output(const std::string& name) const;
+  [[nodiscard]] const std::string& net_name(Net n) const;
+  [[nodiscard]] bool has_input(const std::string& name) const {
+    return input_index_.contains(name);
+  }
+
+  /// Count of gates per kind — the "silicon usage" proxy used by the
+  /// architecture-exploration grading.
+  [[nodiscard]] std::map<GateKind, std::size_t> gate_histogram() const;
+  /// Unit-area estimate (gate-count weighted by kind).
+  [[nodiscard]] double area_estimate() const;
+
+  /// Throws std::logic_error if any flip-flop lacks a next-state net or an
+  /// operand index is out of range.
+  void validate() const;
+
+private:
+  Net add_gate(GateKind kind, Net a = -1, Net b = -1, Net c = -1);
+  void check_operand(Net n) const;
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<Net> inputs_;
+  std::vector<Net> dffs_;
+  std::map<std::string, Net> outputs_;
+  std::map<std::string, Net> input_index_;
+  std::map<Net, std::string> names_;
+};
+
+/// Two-valued cycle-accurate simulator for a Netlist, with stuck-at fault
+/// injection (used by PCC and SAT-ATPG fault grading).
+class Simulator {
+public:
+  explicit Simulator(const Netlist& netlist);
+
+  /// Returns flip-flops to their reset values and clears input values.
+  void reset();
+  void set_input(const std::string& name, bool value);
+  void set_input(Net input_net, bool value);
+  /// Evaluates the combinational logic with current inputs/state.
+  void eval();
+  /// `eval()` then clocks all flip-flops once.
+  void step();
+
+  [[nodiscard]] bool value(Net n) const { return values_.at(static_cast<std::size_t>(n)); }
+  [[nodiscard]] bool output(const std::string& name) const;
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+
+  /// Forces `net` to `value` during every evaluation until cleared.
+  void inject_stuck_at(Net net, bool value);
+  void clear_faults();
+  [[nodiscard]] bool has_faults() const noexcept { return fault_count_ > 0; }
+
+  /// Flip-flop state packed LSB-first in flip-flop declaration order
+  /// (explicit-state model checking). Requires <= 64 flip-flops.
+  [[nodiscard]] std::uint64_t state_bits() const;
+  /// Overwrites the flip-flop state (and re-evaluates combinational logic).
+  void force_state(std::uint64_t bits);
+  /// Drives all primary inputs from packed bits (declaration order).
+  void force_inputs(std::uint64_t bits);
+
+private:
+  const Netlist* netlist_;
+  std::vector<char> values_;
+  std::vector<char> state_;        // dff current values (indexed by dff order)
+  std::vector<char> input_vals_;   // indexed by input order
+  std::vector<signed char> fault_; // -1 none, 0/1 stuck value, per net
+  std::map<Net, std::size_t> dff_slot_;
+  std::map<Net, std::size_t> input_slot_;
+  std::uint64_t cycles_ = 0;
+  int fault_count_ = 0;
+};
+
+}  // namespace symbad::rtl

@@ -1,0 +1,201 @@
+#include "rtl/wordops.hpp"
+
+#include <stdexcept>
+
+namespace symbad::rtl {
+
+namespace {
+void require_same_width(const Word& a, const Word& b, const char* op) {
+  if (a.width() != b.width()) {
+    throw std::invalid_argument{std::string{"rtl wordops: width mismatch in "} + op};
+  }
+}
+}  // namespace
+
+Word make_constant(Netlist& n, std::uint64_t value, int width) {
+  if (width <= 0 || width > 64) throw std::invalid_argument{"rtl: bad constant width"};
+  Word w;
+  for (int i = 0; i < width; ++i) {
+    w.bits.push_back(n.constant(((value >> i) & 1) != 0));
+  }
+  return w;
+}
+
+Word make_inputs(Netlist& n, const std::string& prefix, int width) {
+  Word w;
+  for (int i = 0; i < width; ++i) {
+    w.bits.push_back(n.add_input(prefix + "[" + std::to_string(i) + "]"));
+  }
+  return w;
+}
+
+Word make_registers(Netlist& n, const std::string& prefix, int width, std::uint64_t init) {
+  Word w;
+  for (int i = 0; i < width; ++i) {
+    w.bits.push_back(
+        n.add_dff(((init >> i) & 1) != 0, prefix + "[" + std::to_string(i) + "]"));
+  }
+  return w;
+}
+
+void connect_registers(Netlist& n, const Word& regs, const Word& next) {
+  require_same_width(regs, next, "connect_registers");
+  for (int i = 0; i < regs.width(); ++i) n.connect_next(regs.bit(i), next.bit(i));
+}
+
+void set_output_word(Netlist& n, const std::string& prefix, const Word& w) {
+  for (int i = 0; i < w.width(); ++i) {
+    n.set_output(prefix + "[" + std::to_string(i) + "]", w.bit(i));
+  }
+}
+
+Word bitwise_and(Netlist& n, const Word& a, const Word& b) {
+  require_same_width(a, b, "and");
+  Word out;
+  for (int i = 0; i < a.width(); ++i) out.bits.push_back(n.add_and(a.bit(i), b.bit(i)));
+  return out;
+}
+
+Word bitwise_or(Netlist& n, const Word& a, const Word& b) {
+  require_same_width(a, b, "or");
+  Word out;
+  for (int i = 0; i < a.width(); ++i) out.bits.push_back(n.add_or(a.bit(i), b.bit(i)));
+  return out;
+}
+
+Word bitwise_xor(Netlist& n, const Word& a, const Word& b) {
+  require_same_width(a, b, "xor");
+  Word out;
+  for (int i = 0; i < a.width(); ++i) out.bits.push_back(n.add_xor(a.bit(i), b.bit(i)));
+  return out;
+}
+
+Word bitwise_not(Netlist& n, const Word& a) {
+  Word out;
+  for (int i = 0; i < a.width(); ++i) out.bits.push_back(n.add_not(a.bit(i)));
+  return out;
+}
+
+std::pair<Word, Net> add(Netlist& n, const Word& a, const Word& b, Net carry_in) {
+  require_same_width(a, b, "add");
+  Word sum;
+  Net carry = carry_in >= 0 ? carry_in : n.constant(false);
+  for (int i = 0; i < a.width(); ++i) {
+    const Net axb = n.add_xor(a.bit(i), b.bit(i));
+    sum.bits.push_back(n.add_xor(axb, carry));
+    const Net t1 = n.add_and(a.bit(i), b.bit(i));
+    const Net t2 = n.add_and(axb, carry);
+    carry = n.add_or(t1, t2);
+  }
+  return {sum, carry};
+}
+
+std::pair<Word, Net> sub(Netlist& n, const Word& a, const Word& b) {
+  // a - b = a + ~b + 1; final carry == 1 iff no borrow (a >= b).
+  const Word nb = bitwise_not(n, b);
+  return add(n, a, nb, n.constant(true));
+}
+
+Net equal(Netlist& n, const Word& a, const Word& b) {
+  require_same_width(a, b, "equal");
+  Net acc = n.constant(true);
+  for (int i = 0; i < a.width(); ++i) {
+    acc = n.add_and(acc, n.add_not(n.add_xor(a.bit(i), b.bit(i))));
+  }
+  return acc;
+}
+
+Net equal_constant(Netlist& n, const Word& a, std::uint64_t value) {
+  Net acc = n.constant(true);
+  for (int i = 0; i < a.width(); ++i) {
+    const bool bit = ((value >> i) & 1) != 0;
+    acc = n.add_and(acc, bit ? a.bit(i) : n.add_not(a.bit(i)));
+  }
+  return acc;
+}
+
+Net unsigned_less(Netlist& n, const Word& a, const Word& b) {
+  // a < b iff a - b borrows.
+  return n.add_not(sub(n, a, b).second);
+}
+
+Net unsigned_ge(Netlist& n, const Word& a, const Word& b) {
+  return sub(n, a, b).second;
+}
+
+Word mux_word(Netlist& n, Net sel, const Word& then_word, const Word& else_word) {
+  require_same_width(then_word, else_word, "mux");
+  Word out;
+  for (int i = 0; i < then_word.width(); ++i) {
+    out.bits.push_back(n.add_mux(sel, then_word.bit(i), else_word.bit(i)));
+  }
+  return out;
+}
+
+Word absolute_difference(Netlist& n, const Word& a, const Word& b) {
+  const auto [amb, a_ge_b] = sub(n, a, b);
+  const auto [bma, unused] = sub(n, b, a);
+  (void)unused;
+  return mux_word(n, a_ge_b, amb, bma);
+}
+
+Word shift_left(Netlist& n, const Word& a, int amount) {
+  if (amount < 0) throw std::invalid_argument{"rtl: negative shift"};
+  Word out;
+  for (int i = 0; i < a.width(); ++i) {
+    out.bits.push_back(i < amount ? n.constant(false) : a.bit(i - amount));
+  }
+  return out;
+}
+
+Word shift_right(Netlist& n, const Word& a, int amount) {
+  if (amount < 0) throw std::invalid_argument{"rtl: negative shift"};
+  Word out;
+  for (int i = 0; i < a.width(); ++i) {
+    const int src = i + amount;
+    out.bits.push_back(src < a.width() ? a.bit(src) : n.constant(false));
+  }
+  return out;
+}
+
+Word zero_extend(Netlist& n, const Word& a, int width) {
+  if (width < a.width()) throw std::invalid_argument{"rtl: zero_extend narrows"};
+  Word out = a;
+  while (out.width() < width) out.bits.push_back(n.constant(false));
+  return out;
+}
+
+Word truncate(const Word& a, int width) {
+  if (width > a.width()) throw std::invalid_argument{"rtl: truncate widens"};
+  Word out;
+  out.bits.assign(a.bits.begin(), a.bits.begin() + width);
+  return out;
+}
+
+Net reduce_or(Netlist& n, const Word& a) {
+  Net acc = a.bit(0);
+  for (int i = 1; i < a.width(); ++i) acc = n.add_or(acc, a.bit(i));
+  return acc;
+}
+
+Net reduce_and(Netlist& n, const Word& a) {
+  Net acc = a.bit(0);
+  for (int i = 1; i < a.width(); ++i) acc = n.add_and(acc, a.bit(i));
+  return acc;
+}
+
+std::uint64_t read_word(const Simulator& sim, const Word& w) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < w.width(); ++i) {
+    if (sim.value(w.bit(i))) v |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+void drive_word(Simulator& sim, const Word& w, std::uint64_t value) {
+  for (int i = 0; i < w.width(); ++i) {
+    sim.set_input(w.bit(i), ((value >> i) & 1) != 0);
+  }
+}
+
+}  // namespace symbad::rtl

@@ -1,0 +1,85 @@
+#pragma once
+// Word-level construction helpers over the gate netlist.
+//
+// A `Word` is a little-endian vector of nets. These helpers implement the
+// datapath operators needed by the level-4 RTL of the case study (ROOT's
+// non-restoring square root and DISTANCE's absolute-difference accumulator):
+// ripple adders/subtractors, comparators, muxes, constant shifts and
+// reductions.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+
+namespace symbad::rtl {
+
+/// Little-endian bundle of nets.
+struct Word {
+  std::vector<Net> bits;  // bits[0] = LSB
+
+  Word() = default;
+  explicit Word(std::vector<Net> b) : bits{std::move(b)} {}
+
+  [[nodiscard]] int width() const noexcept { return static_cast<int>(bits.size()); }
+  [[nodiscard]] Net bit(int i) const { return bits.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] Net lsb() const { return bits.front(); }
+  [[nodiscard]] Net msb() const { return bits.back(); }
+};
+
+/// `width`-bit constant.
+[[nodiscard]] Word make_constant(Netlist& n, std::uint64_t value, int width);
+/// `width` fresh primary inputs named `prefix[i]`.
+[[nodiscard]] Word make_inputs(Netlist& n, const std::string& prefix, int width);
+/// `width` flip-flops named `prefix[i]` with reset value `init`.
+[[nodiscard]] Word make_registers(Netlist& n, const std::string& prefix, int width,
+                                  std::uint64_t init = 0);
+/// Connects register next-state inputs bitwise.
+void connect_registers(Netlist& n, const Word& regs, const Word& next);
+/// Registers each bit as output `prefix[i]`.
+void set_output_word(Netlist& n, const std::string& prefix, const Word& w);
+
+[[nodiscard]] Word bitwise_and(Netlist& n, const Word& a, const Word& b);
+[[nodiscard]] Word bitwise_or(Netlist& n, const Word& a, const Word& b);
+[[nodiscard]] Word bitwise_xor(Netlist& n, const Word& a, const Word& b);
+[[nodiscard]] Word bitwise_not(Netlist& n, const Word& a);
+
+/// Ripple-carry addition; returns (sum, carry_out). Operands must have equal
+/// width; pass `carry_in = -1` for no carry-in.
+[[nodiscard]] std::pair<Word, Net> add(Netlist& n, const Word& a, const Word& b,
+                                       Net carry_in = -1);
+/// a - b as a + ~b + 1; second element is the *no-borrow* flag
+/// (1 iff a >= b, unsigned).
+[[nodiscard]] std::pair<Word, Net> sub(Netlist& n, const Word& a, const Word& b);
+
+[[nodiscard]] Net equal(Netlist& n, const Word& a, const Word& b);
+[[nodiscard]] Net equal_constant(Netlist& n, const Word& a, std::uint64_t value);
+/// Unsigned a < b.
+[[nodiscard]] Net unsigned_less(Netlist& n, const Word& a, const Word& b);
+/// Unsigned a >= b.
+[[nodiscard]] Net unsigned_ge(Netlist& n, const Word& a, const Word& b);
+
+[[nodiscard]] Word mux_word(Netlist& n, Net sel, const Word& then_word,
+                            const Word& else_word);
+/// |a - b| (unsigned).
+[[nodiscard]] Word absolute_difference(Netlist& n, const Word& a, const Word& b);
+
+/// Logical shifts by a constant amount (zero fill), width preserved.
+[[nodiscard]] Word shift_left(Netlist& n, const Word& a, int amount);
+[[nodiscard]] Word shift_right(Netlist& n, const Word& a, int amount);
+
+[[nodiscard]] Word zero_extend(Netlist& n, const Word& a, int width);
+[[nodiscard]] Word truncate(const Word& a, int width);
+
+[[nodiscard]] Net reduce_or(Netlist& n, const Word& a);
+[[nodiscard]] Net reduce_and(Netlist& n, const Word& a);
+
+// --------------------------------------------------- simulator helpers
+/// Reads a word value from a simulator (bit i -> value bit i).
+[[nodiscard]] std::uint64_t read_word(const Simulator& sim, const Word& w);
+/// Drives a word of primary inputs.
+void drive_word(Simulator& sim, const Word& w, std::uint64_t value);
+
+}  // namespace symbad::rtl

@@ -1,0 +1,451 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace symbad::sat {
+
+namespace {
+
+/// Luby restart sequence (1,1,2,1,1,2,4,...) scaled by the restart base.
+std::uint64_t luby(std::uint64_t i) {
+  // Find the finite subsequence containing index i, then the value.
+  std::uint64_t size = 1;
+  std::uint64_t seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i = i % size;
+  }
+  return std::uint64_t{1} << seq;
+}
+
+}  // namespace
+
+struct Clause {
+  std::vector<Lit> lits;
+  bool learned = false;
+};
+
+struct Solver::Impl {
+  struct Watcher {
+    Clause* clause = nullptr;
+    Lit blocker;
+  };
+
+  std::vector<std::unique_ptr<Clause>> clauses;
+  std::vector<std::vector<Watcher>> watches;  // index: literal that became false
+  std::vector<Value> assigns;
+  std::vector<bool> phase;       // saved phase per var
+  std::vector<int> level;
+  std::vector<Clause*> reason;
+  std::vector<double> activity;
+  std::vector<char> seen;
+  std::vector<Lit> trail;
+  std::vector<int> trail_lim;
+  std::size_t qhead = 0;
+  double var_inc = 1.0;
+  static constexpr double kVarDecay = 0.95;
+  bool ok = true;
+  Statistics stats;
+  std::uint64_t conflict_budget = 0;
+  std::vector<bool> model;
+
+  // Indexed max-heap on activity.
+  std::vector<Var> heap;
+  std::vector<int> heap_pos;  // var -> heap index or -1
+
+  // ---------------------------------------------------------- heap ops
+  [[nodiscard]] bool heap_less(Var a, Var b) const noexcept {
+    return activity[static_cast<std::size_t>(a)] > activity[static_cast<std::size_t>(b)];
+  }
+  void heap_swap(std::size_t i, std::size_t j) {
+    std::swap(heap[i], heap[j]);
+    heap_pos[static_cast<std::size_t>(heap[i])] = static_cast<int>(i);
+    heap_pos[static_cast<std::size_t>(heap[j])] = static_cast<int>(j);
+  }
+  void heap_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!heap_less(heap[i], heap[parent])) break;
+      heap_swap(i, parent);
+      i = parent;
+    }
+  }
+  void heap_down(std::size_t i) {
+    for (;;) {
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      std::size_t best = i;
+      if (l < heap.size() && heap_less(heap[l], heap[best])) best = l;
+      if (r < heap.size() && heap_less(heap[r], heap[best])) best = r;
+      if (best == i) break;
+      heap_swap(i, best);
+      i = best;
+    }
+  }
+  void heap_insert(Var v) {
+    if (heap_pos[static_cast<std::size_t>(v)] >= 0) return;
+    heap.push_back(v);
+    heap_pos[static_cast<std::size_t>(v)] = static_cast<int>(heap.size() - 1);
+    heap_up(heap.size() - 1);
+  }
+  Var heap_pop() {
+    const Var v = heap.front();
+    heap_swap(0, heap.size() - 1);
+    heap.pop_back();
+    heap_pos[static_cast<std::size_t>(v)] = -1;
+    if (!heap.empty()) heap_down(0);
+    return v;
+  }
+  void heap_bump(Var v) {
+    const int pos = heap_pos[static_cast<std::size_t>(v)];
+    if (pos >= 0) heap_up(static_cast<std::size_t>(pos));
+  }
+
+  // ------------------------------------------------------ basic state
+  [[nodiscard]] Value lit_value(Lit l) const noexcept {
+    const Value v = assigns[static_cast<std::size_t>(l.var())];
+    if (v == Value::undef) return Value::undef;
+    const bool truth = (v == Value::true_value) != l.negated();
+    return truth ? Value::true_value : Value::false_value;
+  }
+  [[nodiscard]] int decision_level() const noexcept {
+    return static_cast<int>(trail_lim.size());
+  }
+
+  void bump(Var v) {
+    auto& a = activity[static_cast<std::size_t>(v)];
+    a += var_inc;
+    if (a > 1e100) {
+      for (auto& x : activity) x *= 1e-100;
+      var_inc *= 1e-100;
+    }
+    heap_bump(v);
+  }
+  void decay() noexcept { var_inc /= kVarDecay; }
+
+  void attach(Clause* c) {
+    watches[static_cast<std::size_t>(c->lits[0].index())].push_back(Watcher{c, c->lits[1]});
+    watches[static_cast<std::size_t>(c->lits[1].index())].push_back(Watcher{c, c->lits[0]});
+  }
+
+  void enqueue(Lit p, Clause* from) {
+    assigns[static_cast<std::size_t>(p.var())] =
+        p.negated() ? Value::false_value : Value::true_value;
+    level[static_cast<std::size_t>(p.var())] = decision_level();
+    reason[static_cast<std::size_t>(p.var())] = from;
+    trail.push_back(p);
+  }
+
+  // -------------------------------------------------------- propagate
+  Clause* propagate() {
+    Clause* conflict = nullptr;
+    while (qhead < trail.size()) {
+      const Lit p = trail[qhead++];
+      ++stats.propagations;
+      const Lit fl = ~p;  // literal that just became false
+      auto& ws = watches[static_cast<std::size_t>(fl.index())];
+      std::size_t i = 0;
+      std::size_t j = 0;
+      while (i < ws.size()) {
+        const Watcher w = ws[i];
+        if (lit_value(w.blocker) == Value::true_value) {
+          ws[j++] = ws[i++];
+          continue;
+        }
+        Clause& c = *w.clause;
+        if (c.lits[0] == fl) std::swap(c.lits[0], c.lits[1]);
+        // invariant: c.lits[1] == fl
+        const Lit first = c.lits[0];
+        if (lit_value(first) == Value::true_value) {
+          ws[j++] = Watcher{w.clause, first};
+          ++i;
+          continue;
+        }
+        bool moved = false;
+        for (std::size_t k = 2; k < c.lits.size(); ++k) {
+          if (lit_value(c.lits[k]) != Value::false_value) {
+            std::swap(c.lits[1], c.lits[k]);
+            watches[static_cast<std::size_t>(c.lits[1].index())].push_back(
+                Watcher{w.clause, first});
+            moved = true;
+            break;
+          }
+        }
+        if (moved) {
+          ++i;  // watcher removed from this list
+          continue;
+        }
+        // Clause is unit or conflicting.
+        ws[j++] = Watcher{w.clause, first};
+        ++i;
+        if (lit_value(first) == Value::false_value) {
+          conflict = &c;
+          qhead = trail.size();
+          while (i < ws.size()) ws[j++] = ws[i++];
+        } else {
+          enqueue(first, &c);
+        }
+      }
+      ws.resize(j);
+      if (conflict != nullptr) break;
+    }
+    return conflict;
+  }
+
+  // ---------------------------------------------------------- analyze
+  void analyze(Clause* conflict, std::vector<Lit>& out_learnt, int& out_bt_level) {
+    out_learnt.clear();
+    out_learnt.push_back(Lit{});  // slot for the asserting literal
+    std::vector<Var> to_clear;
+    int path_count = 0;
+    Lit p;  // invalid
+    std::size_t index = trail.size();
+
+    for (;;) {
+      for (const Lit q : conflict->lits) {
+        if (p.valid() && q == p) continue;
+        const Var v = q.var();
+        if (seen[static_cast<std::size_t>(v)] == 0 &&
+            level[static_cast<std::size_t>(v)] > 0) {
+          seen[static_cast<std::size_t>(v)] = 1;
+          to_clear.push_back(v);
+          bump(v);
+          if (level[static_cast<std::size_t>(v)] >= decision_level()) {
+            ++path_count;
+          } else {
+            out_learnt.push_back(q);
+          }
+        }
+      }
+      while (seen[static_cast<std::size_t>(trail[index - 1].var())] == 0) --index;
+      p = trail[index - 1];
+      --index;
+      seen[static_cast<std::size_t>(p.var())] = 0;
+      --path_count;
+      if (path_count <= 0) break;
+      conflict = reason[static_cast<std::size_t>(p.var())];
+    }
+    out_learnt[0] = ~p;
+
+    if (out_learnt.size() == 1) {
+      out_bt_level = 0;
+    } else {
+      std::size_t max_i = 1;
+      for (std::size_t i = 2; i < out_learnt.size(); ++i) {
+        if (level[static_cast<std::size_t>(out_learnt[i].var())] >
+            level[static_cast<std::size_t>(out_learnt[max_i].var())]) {
+          max_i = i;
+        }
+      }
+      std::swap(out_learnt[1], out_learnt[max_i]);
+      out_bt_level = level[static_cast<std::size_t>(out_learnt[1].var())];
+    }
+    for (const Var v : to_clear) seen[static_cast<std::size_t>(v)] = 0;
+  }
+
+  void backtrack(int target_level) {
+    if (decision_level() <= target_level) return;
+    const std::size_t bound =
+        static_cast<std::size_t>(trail_lim[static_cast<std::size_t>(target_level)]);
+    for (std::size_t c = trail.size(); c > bound; --c) {
+      const Var v = trail[c - 1].var();
+      phase[static_cast<std::size_t>(v)] = !trail[c - 1].negated();
+      assigns[static_cast<std::size_t>(v)] = Value::undef;
+      reason[static_cast<std::size_t>(v)] = nullptr;
+      heap_insert(v);
+    }
+    trail.resize(bound);
+    trail_lim.resize(static_cast<std::size_t>(target_level));
+    qhead = bound;
+  }
+
+  // ------------------------------------------------------------ search
+  Result search(std::span<const Lit> assumptions) {
+    const std::uint64_t start_conflicts = stats.conflicts;
+    std::uint64_t restart_seq = 0;
+    std::uint64_t restart_limit = 100 * luby(restart_seq);
+    std::uint64_t conflicts_since_restart = 0;
+    std::vector<Lit> learnt;
+
+    for (;;) {
+      Clause* conflict = propagate();
+      if (conflict != nullptr) {
+        ++stats.conflicts;
+        ++conflicts_since_restart;
+        if (decision_level() == 0) return Result::unsat;
+        int bt_level = 0;
+        analyze(conflict, learnt, bt_level);
+        backtrack(bt_level);
+        if (learnt.size() == 1) {
+          enqueue(learnt[0], nullptr);
+        } else {
+          auto clause = std::make_unique<Clause>();
+          clause->lits = learnt;
+          clause->learned = true;
+          attach(clause.get());
+          enqueue(learnt[0], clause.get());
+          clauses.push_back(std::move(clause));
+          ++stats.learned_clauses;
+        }
+        decay();
+        if (conflict_budget != 0 &&
+            stats.conflicts - start_conflicts >= conflict_budget) {
+          backtrack(0);
+          return Result::unknown;
+        }
+      } else {
+        if (conflicts_since_restart >= restart_limit &&
+            decision_level() > static_cast<int>(assumptions.size())) {
+          ++stats.restarts;
+          ++restart_seq;
+          restart_limit = 100 * luby(restart_seq);
+          conflicts_since_restart = 0;
+          backtrack(static_cast<int>(assumptions.size()));
+          continue;
+        }
+        Lit next;
+        // Re-assert assumptions as the first decisions.
+        while (decision_level() < static_cast<int>(assumptions.size())) {
+          const Lit a = assumptions[static_cast<std::size_t>(decision_level())];
+          if (lit_value(a) == Value::true_value) {
+            trail_lim.push_back(static_cast<int>(trail.size()));  // dummy level
+          } else if (lit_value(a) == Value::false_value) {
+            return Result::unsat;  // assumptions contradictory with formula
+          } else {
+            next = a;
+            break;
+          }
+        }
+        if (!next.valid()) {
+          while (!heap.empty()) {
+            const Var v = heap_pop();
+            if (assigns[static_cast<std::size_t>(v)] == Value::undef) {
+              next = Lit{v, !phase[static_cast<std::size_t>(v)]};
+              break;
+            }
+          }
+        }
+        if (!next.valid()) {
+          // Complete assignment: satisfying model.
+          model.assign(assigns.size(), false);
+          for (std::size_t v = 0; v < assigns.size(); ++v) {
+            model[v] = assigns[v] == Value::true_value;
+          }
+          return Result::sat;
+        }
+        ++stats.decisions;
+        trail_lim.push_back(static_cast<int>(trail.size()));
+        enqueue(next, nullptr);
+      }
+    }
+  }
+};
+
+Solver::Solver() : impl_{std::make_unique<Impl>()} {}
+Solver::~Solver() = default;
+
+Var Solver::new_var() {
+  auto& s = *impl_;
+  const Var v = static_cast<Var>(s.assigns.size());
+  s.assigns.push_back(Value::undef);
+  s.phase.push_back(false);
+  s.level.push_back(0);
+  s.reason.push_back(nullptr);
+  s.activity.push_back(0.0);
+  s.seen.push_back(0);
+  s.watches.emplace_back();
+  s.watches.emplace_back();
+  s.heap_pos.push_back(-1);
+  s.heap_insert(v);
+  return v;
+}
+
+int Solver::variable_count() const noexcept {
+  return static_cast<int>(impl_->assigns.size());
+}
+
+bool Solver::add_clause(std::span<const Lit> literals) {
+  auto& s = *impl_;
+  if (!s.ok) return false;
+  if (s.decision_level() != 0) {
+    throw std::logic_error{"sat: add_clause during search"};
+  }
+  std::vector<Lit> lits(literals.begin(), literals.end());
+  for (const Lit l : lits) {
+    if (!l.valid() || l.var() >= variable_count()) {
+      throw std::out_of_range{"sat: clause references unknown variable"};
+    }
+  }
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.index() < b.index(); });
+  // Simplify: drop duplicates / root-false literals; detect tautology and
+  // root-satisfied clauses.
+  std::vector<Lit> out;
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    const Lit l = lits[i];
+    if (!out.empty() && out.back() == l) continue;
+    if (!out.empty() && out.back() == ~l) return true;  // tautology
+    const Value v = s.lit_value(l);
+    if (v == Value::true_value) return true;  // already satisfied at root
+    if (v == Value::false_value) continue;    // root-false literal dropped
+    out.push_back(l);
+  }
+  if (out.empty()) {
+    s.ok = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    s.enqueue(out[0], nullptr);
+    if (s.propagate() != nullptr) {
+      s.ok = false;
+      return false;
+    }
+    return true;
+  }
+  auto clause = std::make_unique<Clause>();
+  clause->lits = std::move(out);
+  s.attach(clause.get());
+  s.clauses.push_back(std::move(clause));
+  return true;
+}
+
+Result Solver::solve(std::span<const Lit> assumptions) {
+  auto& s = *impl_;
+  if (!s.ok) return Result::unsat;
+  for (const Lit l : assumptions) {
+    if (!l.valid() || l.var() >= variable_count()) {
+      throw std::out_of_range{"sat: assumption references unknown variable"};
+    }
+  }
+  s.backtrack(0);
+  if (s.propagate() != nullptr) {
+    s.ok = false;
+    return Result::unsat;
+  }
+  const Result result = s.search(assumptions);
+  s.backtrack(0);
+  return result;
+}
+
+bool Solver::model_value(Var v) const {
+  const auto& model = impl_->model;
+  if (v < 0 || static_cast<std::size_t>(v) >= model.size()) {
+    throw std::out_of_range{"sat: model_value for unknown variable"};
+  }
+  return model[static_cast<std::size_t>(v)];
+}
+
+const Solver::Statistics& Solver::statistics() const noexcept { return impl_->stats; }
+
+void Solver::set_conflict_budget(std::uint64_t conflicts) noexcept {
+  impl_->conflict_budget = conflicts;
+}
+
+}  // namespace symbad::sat

@@ -1,0 +1,100 @@
+#pragma once
+// A CDCL SAT solver (MiniSat-family architecture).
+//
+// This is the formal engine behind the level-4 verification step of the
+// Symbad flow (model checking via BMC / k-induction, paper §3.4) and the
+// formal test-generation engine of the ATPG (paper §3.1). Features:
+// two-watched-literal propagation, 1-UIP clause learning, VSIDS decision
+// heuristic with an indexed heap, phase saving, Luby restarts, and
+// incremental solving under assumptions.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace symbad::sat {
+
+using Var = int;  // 0-based variable index
+
+/// A literal: a variable with a polarity.
+class Lit {
+public:
+  constexpr Lit() = default;
+  constexpr Lit(Var v, bool negated) : code_{2 * v + (negated ? 1 : 0)} {}
+
+  [[nodiscard]] static constexpr Lit positive(Var v) { return Lit{v, false}; }
+  [[nodiscard]] static constexpr Lit negative(Var v) { return Lit{v, true}; }
+
+  [[nodiscard]] constexpr Var var() const noexcept { return code_ >> 1; }
+  [[nodiscard]] constexpr bool negated() const noexcept { return (code_ & 1) != 0; }
+  [[nodiscard]] constexpr int index() const noexcept { return code_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return code_ >= 0; }
+
+  constexpr Lit operator~() const noexcept {
+    Lit l;
+    l.code_ = code_ ^ 1;
+    return l;
+  }
+  constexpr bool operator==(const Lit&) const noexcept = default;
+
+private:
+  int code_ = -2;
+};
+
+enum class Value : std::uint8_t { false_value, true_value, undef };
+enum class Result { sat, unsat, unknown };
+
+/// CDCL solver. Add variables and clauses, then call `solve` (optionally
+/// under assumptions); on `sat`, read the model with `model_value`.
+class Solver {
+public:
+  struct Statistics {
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t conflicts = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t learned_clauses = 0;
+  };
+
+  Solver();
+  ~Solver();
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Creates a fresh variable and returns it.
+  Var new_var();
+  [[nodiscard]] int variable_count() const noexcept;
+
+  /// Adds a clause (disjunction). Returns false if the formula became
+  /// trivially unsatisfiable (empty clause after simplification).
+  bool add_clause(std::span<const Lit> literals);
+  bool add_clause(std::initializer_list<Lit> literals) {
+    return add_clause(std::span<const Lit>{literals.begin(), literals.size()});
+  }
+  /// Convenience unit / binary / ternary forms.
+  bool add_unit(Lit a) { return add_clause({a}); }
+  bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
+  bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
+
+  /// Solves the current formula under the given assumptions.
+  Result solve(std::span<const Lit> assumptions = {});
+  Result solve(std::initializer_list<Lit> assumptions) {
+    return solve(std::span<const Lit>{assumptions.begin(), assumptions.size()});
+  }
+
+  /// Model access; only meaningful after `solve` returned `sat`.
+  [[nodiscard]] bool model_value(Var v) const;
+
+  [[nodiscard]] const Statistics& statistics() const noexcept;
+
+  /// Upper bound on conflicts before giving up with Result::unknown
+  /// (0 = unlimited).
+  void set_conflict_budget(std::uint64_t conflicts) noexcept;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace symbad::sat

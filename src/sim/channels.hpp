@@ -1,0 +1,155 @@
+#pragma once
+// Communication channels for Symbad models.
+//
+//  * `Fifo<T>`   — bounded FIFO with blocking (coroutine) read/write, the
+//    point-to-point channel of level-1 models. Records occupancy statistics
+//    used to validate LPV FIFO-dimensioning results.
+//  * `Signal<T>` — value holder with a value-changed event.
+//  * `Mutex`     — coroutine mutex used for exclusive resources (bus grant).
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "sim/kernel.hpp"
+
+namespace symbad::sim {
+
+/// Bounded FIFO channel with blocking coroutine access.
+template <typename T>
+class Fifo {
+public:
+  Fifo(Kernel& kernel, std::string name, std::size_t capacity)
+      : name_{std::move(name)},
+        capacity_{capacity},
+        written_{kernel, name_ + ".written"},
+        read_{kernel, name_ + ".read"} {
+    if (capacity == 0) throw std::invalid_argument{"Fifo: capacity must be >= 1"};
+  }
+
+  /// Blocking read: suspends while the FIFO is empty.
+  [[nodiscard]] Task<T> read() {
+    while (items_.empty()) co_await written_;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    read_.notify();
+    co_return value;
+  }
+
+  /// Blocking write: suspends while the FIFO is full.
+  [[nodiscard]] Task<void> write(T value) {
+    while (items_.size() >= capacity_) co_await read_;
+    push(std::move(value));
+  }
+
+  /// Non-blocking read; returns false when empty.
+  bool nb_read(T& out) {
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    read_.notify();
+    return true;
+  }
+
+  /// Non-blocking write; returns false when full.
+  bool nb_write(T value) {
+    if (items_.size() >= capacity_) return false;
+    push(std::move(value));
+    return true;
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] bool full() const noexcept { return items_.size() >= capacity_; }
+
+  /// Total number of items ever written (throughput statistics).
+  [[nodiscard]] std::uint64_t total_written() const noexcept { return total_written_; }
+  /// High-water mark of occupancy (validates FIFO dimensioning).
+  [[nodiscard]] std::size_t peak_size() const noexcept { return peak_size_; }
+
+  [[nodiscard]] Event& written_event() noexcept { return written_; }
+  [[nodiscard]] Event& read_event() noexcept { return read_; }
+
+private:
+  void push(T value) {
+    items_.push_back(std::move(value));
+    ++total_written_;
+    peak_size_ = std::max(peak_size_, items_.size());
+    written_.notify();
+  }
+
+  std::string name_;
+  std::size_t capacity_;
+  std::deque<T> items_;
+  Event written_;
+  Event read_;
+  std::uint64_t total_written_ = 0;
+  std::size_t peak_size_ = 0;
+};
+
+/// A value holder whose `changed_event` fires (delta-delayed) on writes that
+/// change the stored value.
+template <typename T>
+class Signal {
+public:
+  Signal(Kernel& kernel, std::string name, T initial = T{})
+      : name_{std::move(name)}, value_{std::move(initial)}, changed_{kernel, name_ + ".changed"} {}
+
+  [[nodiscard]] const T& read() const noexcept { return value_; }
+  void write(const T& value) {
+    if (value == value_) return;
+    value_ = value;
+    ++change_count_;
+    changed_.notify();
+  }
+
+  [[nodiscard]] Event& changed_event() noexcept { return changed_; }
+  [[nodiscard]] std::uint64_t change_count() const noexcept { return change_count_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+  std::string name_;
+  T value_;
+  Event changed_;
+  std::uint64_t change_count_ = 0;
+};
+
+/// Coroutine mutex: `co_await mutex.lock()`, later `unlock()`. Not fair, but
+/// starvation-free in practice for the small contender counts of a bus model.
+class Mutex {
+public:
+  Mutex(Kernel& kernel, std::string name)
+      : name_{std::move(name)}, released_{kernel, name_ + ".released"} {}
+
+  [[nodiscard]] Task<void> lock() {
+    while (locked_) co_await released_;
+    locked_ = true;
+  }
+
+  /// Try to take the lock immediately; returns false if already held.
+  bool try_lock() noexcept {
+    if (locked_) return false;
+    locked_ = true;
+    return true;
+  }
+
+  void unlock() {
+    if (!locked_) throw std::logic_error{"Mutex::unlock: not locked"};
+    locked_ = false;
+    released_.notify();
+  }
+
+  [[nodiscard]] bool locked() const noexcept { return locked_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+  std::string name_;
+  Event released_;
+  bool locked_ = false;
+};
+
+}  // namespace symbad::sim

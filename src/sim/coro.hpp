@@ -1,0 +1,212 @@
+#pragma once
+// Coroutine types for the Symbad simulation kernel.
+//
+// Two coroutine flavours exist:
+//
+//  * `Process`  — a top-level simulation process (the SC_THREAD analogue).
+//    It is spawned onto a `Kernel`, starts suspended, and is resumed by the
+//    scheduler. When it finishes, its frame self-destroys and the kernel is
+//    informed.
+//
+//  * `Task<T>`  — a composable sub-coroutine (e.g. `Fifo::read`,
+//    `Bus::transfer`). It is lazily started when awaited and resumes its
+//    awaiter on completion via symmetric transfer, propagating exceptions.
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+#include <variant>
+
+namespace symbad::sim {
+
+class Kernel;
+
+namespace detail {
+/// Kernel-side hooks invoked by Process promises; implemented in kernel.cpp.
+void process_finished(Kernel& kernel, void* frame) noexcept;
+void process_failed(Kernel& kernel, std::exception_ptr error) noexcept;
+}  // namespace detail
+
+/// A top-level simulation process. Move-only; ownership of the coroutine
+/// frame passes to the kernel on `Kernel::spawn`.
+class Process {
+public:
+  struct promise_type {
+    Kernel* kernel = nullptr;
+
+    Process get_return_object() {
+      return Process{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        Kernel* k = h.promise().kernel;
+        void* frame = h.address();
+        h.destroy();
+        if (k != nullptr) detail::process_finished(*k, frame);
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      if (kernel != nullptr) {
+        detail::process_failed(*kernel, std::current_exception());
+      } else {
+        std::terminate();
+      }
+    }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  Process(Process&& other) noexcept : handle_{std::exchange(other.handle_, {})} {}
+  Process& operator=(Process&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Process() {
+    if (handle_) handle_.destroy();
+  }
+
+  /// Transfers frame ownership to the caller (used by Kernel::spawn).
+  [[nodiscard]] Handle release() noexcept { return std::exchange(handle_, {}); }
+
+private:
+  explicit Process(Handle h) noexcept : handle_{h} {}
+  Handle handle_;
+};
+
+/// A lazily-started awaitable coroutine returning `T`. Exceptions thrown in
+/// the task body re-throw at the awaiter's `co_await` expression.
+template <typename T>
+class [[nodiscard]] Task {
+  struct Promise;
+
+public:
+  using promise_type = Promise;
+  using Handle = std::coroutine_handle<Promise>;
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task(Task&& other) noexcept : handle_{std::exchange(other.handle_, {})} {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  Handle await_suspend(std::coroutine_handle<> continuation) noexcept {
+    handle_.promise().continuation = continuation;
+    return handle_;  // symmetric transfer: start the task body
+  }
+  T await_resume() {
+    auto& result = handle_.promise().result;
+    if (auto* error = std::get_if<std::exception_ptr>(&result)) {
+      std::rethrow_exception(*error);
+    }
+    return std::move(std::get<T>(result));
+  }
+
+private:
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(Handle h) noexcept {
+      auto continuation = h.promise().continuation;
+      return continuation ? continuation : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct Promise {
+    std::coroutine_handle<> continuation;
+    std::variant<std::monostate, T, std::exception_ptr> result;
+
+    Task get_return_object() { return Task{Handle::from_promise(*this)}; }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    template <typename U>
+    void return_value(U&& value) {
+      result.template emplace<T>(std::forward<U>(value));
+    }
+    void unhandled_exception() noexcept {
+      result.template emplace<std::exception_ptr>(std::current_exception());
+    }
+  };
+
+  explicit Task(Handle h) noexcept : handle_{h} {}
+  Handle handle_;
+};
+
+/// void specialisation.
+template <>
+class [[nodiscard]] Task<void> {
+  struct Promise;
+
+public:
+  using promise_type = Promise;
+  using Handle = std::coroutine_handle<Promise>;
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task(Task&& other) noexcept : handle_{std::exchange(other.handle_, {})} {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  Handle await_suspend(std::coroutine_handle<> continuation) noexcept {
+    handle_.promise().continuation = continuation;
+    return handle_;
+  }
+  void await_resume() {
+    if (handle_.promise().error) std::rethrow_exception(handle_.promise().error);
+  }
+
+private:
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(Handle h) noexcept {
+      auto continuation = h.promise().continuation;
+      return continuation ? continuation : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct Promise {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr error;
+
+    Task get_return_object() { return Task{Handle::from_promise(*this)}; }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { error = std::current_exception(); }
+  };
+
+  explicit Task(Handle h) noexcept : handle_{h} {}
+  Handle handle_;
+};
+
+}  // namespace symbad::sim

@@ -1,0 +1,173 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace symbad::sim {
+
+// ---------------------------------------------------------------- Time
+
+std::string Time::to_string() const {
+  std::ostringstream os;
+  const auto abs_ps = ps_ < 0 ? -ps_ : ps_;
+  if (abs_ps >= 1'000'000'000'000) {
+    os << to_seconds() << " s";
+  } else if (abs_ps >= 1'000'000'000) {
+    os << to_ms() << " ms";
+  } else if (abs_ps >= 1'000'000) {
+    os << to_us() << " us";
+  } else if (abs_ps >= 1'000) {
+    os << to_ns() << " ns";
+  } else {
+    os << ps_ << " ps";
+  }
+  return os.str();
+}
+
+// --------------------------------------------------------------- Event
+
+Event::Event(Kernel& kernel, std::string name)
+    : kernel_{&kernel}, name_{std::move(name)} {}
+
+void Event::fire() {
+  // Move waiters out first: a resumed coroutine may immediately re-wait.
+  std::vector<std::coroutine_handle<>> to_resume;
+  to_resume.swap(waiters_);
+  for (auto handle : to_resume) handle.resume();
+}
+
+void Event::notify() {
+  if (pending_ && pending_is_delta_) return;  // delta notification already wins
+  ++generation_;
+  pending_ = true;
+  pending_is_delta_ = true;
+  kernel_->schedule_delta([this, gen = generation_] {
+    if (gen != generation_) return;  // superseded or cancelled
+    pending_ = false;
+    fire();
+  });
+}
+
+void Event::notify(Time delay) {
+  if (delay < Time::zero()) throw std::invalid_argument{"Event::notify: negative delay"};
+  if (delay.is_zero()) {
+    notify();
+    return;
+  }
+  const Time at = kernel_->now() + delay;
+  if (pending_ && (pending_is_delta_ || pending_at_ <= at)) return;  // earlier wins
+  ++generation_;
+  pending_ = true;
+  pending_is_delta_ = false;
+  pending_at_ = at;
+  kernel_->schedule(delay, [this, gen = generation_] {
+    if (gen != generation_) return;
+    pending_ = false;
+    fire();
+  });
+}
+
+void Event::cancel() noexcept {
+  ++generation_;
+  pending_ = false;
+}
+
+// -------------------------------------------------------------- Kernel
+
+namespace detail {
+
+void process_finished(Kernel& kernel, void* frame) noexcept {
+  auto& live = kernel.live_processes_;
+  if (auto it = std::find(live.begin(), live.end(), frame); it != live.end()) {
+    *it = live.back();
+    live.pop_back();
+  }
+}
+
+void process_failed(Kernel& kernel, std::exception_ptr error) noexcept {
+  if (!kernel.pending_error_) kernel.pending_error_ = std::move(error);
+  kernel.stop();
+}
+
+}  // namespace detail
+
+Kernel::~Kernel() {
+  // Destroy frames of processes that never ran to completion so that a
+  // simulation abandoned mid-flight does not leak coroutine frames.
+  for (void* frame : live_processes_) {
+    std::coroutine_handle<>::from_address(frame).destroy();
+  }
+}
+
+void Kernel::spawn(Process process, std::string /*name*/) {
+  Process::Handle handle = process.release();
+  if (!handle) throw std::invalid_argument{"Kernel::spawn: empty process"};
+  handle.promise().kernel = this;
+  live_processes_.push_back(handle.address());
+  ++processes_spawned_;
+  schedule_delta([handle] { handle.resume(); });
+}
+
+void Kernel::schedule(Time delay, std::function<void()> fn) {
+  if (delay < Time::zero()) {
+    throw std::invalid_argument{"Kernel::schedule: negative delay"};
+  }
+  queue_.push(Scheduled{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+void Kernel::schedule_delta(std::function<void()> fn) {
+  delta_.push_back(std::move(fn));
+}
+
+RunResult Kernel::run(Time limit) {
+  if (running_) throw std::logic_error{"Kernel::run: re-entered"};
+  running_ = true;
+  stop_requested_ = false;
+  RunResult result = RunResult::no_more_events;
+
+  while (true) {
+    if (stop_requested_) {
+      result = RunResult::stopped;
+      break;
+    }
+    if (!delta_.empty()) {
+      // One delta cycle: drain the jobs queued so far; jobs they enqueue
+      // belong to the following delta cycle.
+      std::vector<std::function<void()>> batch;
+      batch.swap(delta_);
+      ++delta_cycles_;
+      for (auto& fn : batch) {
+        fn();
+        ++callbacks_executed_;
+        if (stop_requested_) break;
+      }
+      continue;
+    }
+    if (queue_.empty()) {
+      result = RunResult::no_more_events;
+      break;
+    }
+    if (queue_.top().at > limit) {
+      now_ = limit;
+      result = RunResult::time_limit;
+      break;
+    }
+    // `top()` only exposes const access; the payload must be moved out, so
+    // copy the const ref's guts via const_cast-free extraction.
+    Scheduled item{queue_.top().at, queue_.top().seq, queue_.top().fn};
+    queue_.pop();
+    now_ = item.at;
+    item.fn();
+    ++callbacks_executed_;
+  }
+
+  running_ = false;
+  if (pending_error_) {
+    auto error = std::exchange(pending_error_, nullptr);
+    std::rethrow_exception(error);
+  }
+  return result;
+}
+
+}  // namespace symbad::sim

@@ -1,0 +1,36 @@
+#pragma once
+// Module base class: named owner of simulation processes.
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "sim/kernel.hpp"
+
+namespace symbad::sim {
+
+/// Base class for structural model components (the SC_MODULE analogue).
+/// A module is bound to a kernel, has a hierarchical name, and spawns its
+/// behaviour as coroutine processes.
+class Module {
+public:
+  Module(Kernel& kernel, std::string name) : kernel_{&kernel}, name_{std::move(name)} {}
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  virtual ~Module() = default;
+
+  [[nodiscard]] Kernel& kernel() const noexcept { return *kernel_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+protected:
+  /// Register a process owned by this module with the kernel.
+  void spawn(Process process, std::string_view process_name = "proc") {
+    kernel_->spawn(std::move(process), name_ + "." + std::string{process_name});
+  }
+
+private:
+  Kernel* kernel_;
+  std::string name_;
+};
+
+}  // namespace symbad::sim

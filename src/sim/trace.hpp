@@ -1,0 +1,69 @@
+#pragma once
+// Value traces used for the paper's cross-level consistency checks:
+// "Functionality has been fully verified matching the results against the
+// level N-1 ones." A trace records (time, channel, value) triples; two
+// levels agree when the per-channel *value sequences* are identical, time
+// being deliberately ignored (level 1 is untimed).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace symbad::sim {
+
+/// An append-only trace of observed channel values.
+class Trace {
+public:
+  struct Entry {
+    Time at;
+    std::string channel;
+    std::uint64_t value = 0;
+  };
+
+  void record(Time at, std::string_view channel, std::uint64_t value) {
+    entries_.push_back(Entry{at, std::string{channel}, value});
+  }
+
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept { return entries_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  void clear() noexcept { entries_.clear(); }
+
+  /// Per-channel value sequences (timestamps dropped).
+  [[nodiscard]] std::map<std::string, std::vector<std::uint64_t>> by_channel() const {
+    std::map<std::string, std::vector<std::uint64_t>> out;
+    for (const auto& e : entries_) out[e.channel].push_back(e.value);
+    return out;
+  }
+
+  /// Order-insensitive-in-time equality: same channels, same value sequences.
+  /// This is the check used between refinement levels.
+  [[nodiscard]] static bool data_equal(const Trace& a, const Trace& b) {
+    return a.by_channel() == b.by_channel();
+  }
+
+  /// FNV-1a fingerprint over the per-channel value sequences.
+  [[nodiscard]] std::uint64_t fingerprint() const {
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFF;
+        h *= 1099511628211ULL;
+      }
+    };
+    for (const auto& [channel, values] : by_channel()) {
+      for (char c : channel) mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+      for (auto v : values) mix(v);
+    }
+    return h;
+  }
+
+private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace symbad::sim

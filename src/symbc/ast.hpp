@@ -1,0 +1,51 @@
+#pragma once
+// Abstract syntax for SymbC's mini-C subset. Only control flow and calls
+// are represented: everything the consistency analysis needs.
+
+#include <memory>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace symbad::symbc {
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Block {
+  std::vector<StmtPtr> stmts;
+};
+
+enum class StmtKind {
+  call,         ///< `f(...)` — includes calls embedded in expressions
+  reconfigure,  ///< call to the configured reconfiguration procedure
+  if_else,      ///< condition abstracted: both branches possible
+  loop,         ///< while/for: body executes zero or more times
+  block,
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::block;
+  int line = 0;
+  std::string callee;   ///< call: function name
+  std::string context;  ///< reconfigure: context argument
+  Block body;           ///< if: then / loop body / block
+  Block else_body;      ///< if: else branch (may be empty)
+  bool has_else = false;
+};
+
+struct Function {
+  std::string name;
+  int line = 0;
+  Block body;
+};
+
+struct Program {
+  std::map<std::string, Function> functions;
+
+  [[nodiscard]] bool has_function(const std::string& name) const {
+    return functions.contains(name);
+  }
+};
+
+}  // namespace symbad::symbc

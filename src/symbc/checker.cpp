@@ -1,0 +1,170 @@
+#include "symbc/checker.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "symbc/parser.hpp"
+
+namespace symbad::symbc {
+
+std::string Violation::to_string() const {
+  std::ostringstream os;
+  os << "line " << line << ": FPGA function '" << function
+     << "' may be invoked while context '" << loaded_context << "' is loaded";
+  if (loaded_at_line > 0) {
+    os << " (loaded at line " << loaded_at_line << ")";
+  } else {
+    os << " (state at entry)";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Abstract state: possible loaded context -> provenance line.
+using State = std::map<std::string, int>;
+
+State merge(const State& a, const State& b) {
+  State out = a;
+  for (const auto& [ctx, line] : b) {
+    out.emplace(ctx, line);  // keep first provenance on conflicts
+  }
+  return out;
+}
+
+class Analyzer {
+public:
+  Analyzer(const Program& program, const ConfigSpec& spec)
+      : program_{program}, spec_{spec} {}
+
+  ConsistencyResult run(const std::string& entry) {
+    const auto it = program_.functions.find(entry);
+    if (it == program_.functions.end()) {
+      throw std::invalid_argument{"symbc: entry function '" + entry + "' not found"};
+    }
+    State initial;
+    initial.emplace(kNoContext, 0);
+    const State final_state = analyze_function(entry, initial, 0);
+    for (const auto& [ctx, line] : final_state) result_.final_contexts.insert(ctx);
+    result_.consistent = result_.violations.empty();
+    return std::move(result_);
+  }
+
+private:
+  static std::string state_key(const State& s) {
+    std::string key;
+    for (const auto& [ctx, line] : s) {
+      key += ctx;
+      key += '|';
+    }
+    return key;
+  }
+
+  State analyze_function(const std::string& name, const State& in, int depth) {
+    // Recursion / re-entry guard: widen to "any context possible".
+    if (depth > 32) return widened(in);
+    const std::string key = name + "#" + state_key(in);
+    if (const auto memo = memo_.find(key); memo != memo_.end()) return memo->second;
+    if (in_progress_.contains(key)) return widened(in);  // recursion: widen
+    in_progress_.insert(key);
+    const Function& fn = program_.functions.at(name);
+    const State out = analyze_block(fn.body, in, depth);
+    in_progress_.erase(key);
+    memo_.emplace(key, out);
+    return out;
+  }
+
+  State widened(const State& in) {
+    State out = in;
+    for (const auto& [ctx, fns] : spec_.contexts) out.emplace(ctx, 0);
+    out.emplace(kNoContext, 0);
+    return out;
+  }
+
+  State analyze_block(const Block& block, State state, int depth) {
+    for (const auto& stmt : block.stmts) {
+      state = analyze_stmt(*stmt, state, depth);
+    }
+    return state;
+  }
+
+  State analyze_stmt(const Stmt& stmt, State state, int depth) {
+    switch (stmt.kind) {
+      case StmtKind::block:
+        return analyze_block(stmt.body, std::move(state), depth);
+      case StmtKind::reconfigure: {
+        if (!spec_.is_context(stmt.context)) {
+          throw std::invalid_argument{
+              "symbc: line " + std::to_string(stmt.line) +
+              ": reconfiguration names unknown context '" + stmt.context + "'"};
+        }
+        State out;
+        out.emplace(stmt.context, stmt.line);
+        return out;
+      }
+      case StmtKind::call: {
+        if (spec_.is_fpga_function(stmt.callee)) {
+          check_fpga_call(stmt, state);
+          return state;  // executing a resident function keeps the context
+        }
+        if (program_.has_function(stmt.callee)) {
+          return analyze_function(stmt.callee, state, depth + 1);
+        }
+        return state;  // external / library call: no effect on the fabric
+      }
+      case StmtKind::if_else: {
+        const State then_out = analyze_block(stmt.body, state, depth);
+        const State else_out =
+            stmt.has_else ? analyze_block(stmt.else_body, state, depth) : state;
+        return merge(then_out, else_out);
+      }
+      case StmtKind::loop: {
+        // Fixpoint: body may run zero or more times.
+        State current = state;
+        for (int iter = 0; iter < 64; ++iter) {
+          const State body_out = analyze_block(stmt.body, current, depth);
+          const State next = merge(current, body_out);
+          if (next == current) break;
+          current = next;
+        }
+        return current;
+      }
+    }
+    return state;
+  }
+
+  void check_fpga_call(const Stmt& stmt, const State& state) {
+    CallCertificate cert;
+    cert.function = stmt.callee;
+    cert.line = stmt.line;
+    bool ok = true;
+    for (const auto& [ctx, loaded_at] : state) {
+      cert.possible_contexts.insert(ctx);
+      if (!spec_.available_in(stmt.callee, ctx)) {
+        ok = false;
+        result_.violations.push_back(Violation{stmt.callee, stmt.line, ctx, loaded_at});
+      }
+    }
+    if (ok) result_.certificate.push_back(std::move(cert));
+  }
+
+  const Program& program_;
+  const ConfigSpec& spec_;
+  ConsistencyResult result_;
+  std::map<std::string, State> memo_;
+  std::set<std::string> in_progress_;
+};
+
+}  // namespace
+
+ConsistencyResult check_consistency(const Program& program, const ConfigSpec& spec,
+                                    const std::string& entry) {
+  return Analyzer{program, spec}.run(entry);
+}
+
+ConsistencyResult check_source(const std::string& source, const ConfigSpec& spec,
+                               const std::string& entry) {
+  return check_consistency(parse_program(source, spec.reconfig_function), spec, entry);
+}
+
+}  // namespace symbad::symbc

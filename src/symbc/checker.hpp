@@ -1,0 +1,95 @@
+#pragma once
+// SymbC's consistency analysis (paper §3.3).
+//
+// Property: "each time the software requires a hardware resource of the
+// reconfigurable part, this resource is actually available."
+//
+// The analysis is an interprocedural abstract interpretation over the
+// loaded-context domain: an abstract state is the set of contexts possibly
+// resident in the FPGA at a program point (plus "none"), each tagged with
+// the line that established it (for counter-examples). Branch conditions
+// are non-deterministic (both arms merge), loops run to a fixpoint, and
+// calls to defined functions are interpreted recursively with memoisation.
+//
+// Output: either a certificate (per FPGA call site: the proven set of
+// possible contexts, each containing the function) or counter-examples
+// (call site + offending possible context + where it was loaded).
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "symbc/ast.hpp"
+
+namespace symbad::symbc {
+
+/// The "configuration information" input of SymbC.
+struct ConfigSpec {
+  /// Name of the reconfiguration procedure in the source.
+  std::string reconfig_function = "fpga_load";
+  /// Context name -> functions present when it is loaded.
+  std::map<std::string, std::vector<std::string>> contexts;
+
+  [[nodiscard]] bool is_context(const std::string& name) const {
+    return contexts.contains(name);
+  }
+  [[nodiscard]] bool is_fpga_function(const std::string& fn) const {
+    for (const auto& [ctx, fns] : contexts) {
+      for (const auto& f : fns) {
+        if (f == fn) return true;
+      }
+    }
+    return false;
+  }
+  [[nodiscard]] bool available_in(const std::string& fn, const std::string& ctx) const {
+    const auto it = contexts.find(ctx);
+    if (it == contexts.end()) return false;
+    for (const auto& f : it->second) {
+      if (f == fn) return true;
+    }
+    return false;
+  }
+};
+
+/// Sentinel context meaning "nothing loaded".
+inline const std::string kNoContext = "<none>";
+
+/// One certified FPGA call site.
+struct CallCertificate {
+  std::string function;
+  int line = 0;
+  std::set<std::string> possible_contexts;  ///< all contain `function`
+};
+
+/// One counter-example.
+struct Violation {
+  std::string function;          ///< FPGA function invoked
+  int line = 0;                  ///< call site
+  std::string loaded_context;    ///< offending possible context (or <none>)
+  int loaded_at_line = 0;        ///< where that context was established (0 = entry)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct ConsistencyResult {
+  bool consistent = true;
+  std::vector<CallCertificate> certificate;
+  std::vector<Violation> violations;
+  /// Abstract contexts possibly loaded when the entry function returns.
+  std::set<std::string> final_contexts;
+};
+
+/// Checks `program` under `spec`, starting from `entry`. Throws
+/// std::invalid_argument if `entry` is missing or a reconfigure call names
+/// an unknown context.
+[[nodiscard]] ConsistencyResult check_consistency(const Program& program,
+                                                  const ConfigSpec& spec,
+                                                  const std::string& entry = "main");
+
+/// Convenience: parse + check.
+[[nodiscard]] ConsistencyResult check_source(const std::string& source,
+                                             const ConfigSpec& spec,
+                                             const std::string& entry = "main");
+
+}  // namespace symbad::symbc

@@ -1,0 +1,103 @@
+#include "symbc/lexer.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace symbad::symbc {
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto error = [&line](const std::string& what) {
+    throw std::runtime_error{"symbc lexer (line " + std::to_string(line) + "): " + what};
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directives are ignored wholesale.
+    if (c == '#') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      i += 2;
+      bool closed = false;
+      while (i + 1 < n) {
+        if (source[i] == '\n') ++line;
+        if (source[i] == '*' && source[i + 1] == '/') {
+          i += 2;
+          closed = true;
+          break;
+        }
+        ++i;
+      }
+      if (!closed) error("unterminated block comment");
+      continue;
+    }
+    // String/char literals: consumed as a single abstract token.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && source[j] != quote) {
+        if (source[j] == '\\') ++j;
+        ++j;
+      }
+      if (j >= n) error("unterminated literal");
+      tokens.push_back(Token{TokenKind::number, source.substr(i, j - i + 1), line});
+      i = j + 1;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(source[j])) != 0 ||
+                       source[j] == '_')) {
+        ++j;
+      }
+      tokens.push_back(Token{TokenKind::identifier, source.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(source[j])) != 0 ||
+                       source[j] == '.' || source[j] == 'x')) {
+        ++j;
+      }
+      tokens.push_back(Token{TokenKind::number, source.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    constexpr const char* kPunct = "(){};,=<>!+-*/%&|^~[]?:.";
+    bool matched = false;
+    for (const char* p = kPunct; *p != '\0'; ++p) {
+      if (*p == c) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) error(std::string{"unexpected character '"} + c + "'");
+    tokens.push_back(Token{TokenKind::punct, std::string{c}, line});
+    ++i;
+  }
+  tokens.push_back(Token{TokenKind::end, "", line});
+  return tokens;
+}
+
+}  // namespace symbad::symbc

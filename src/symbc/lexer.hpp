@@ -1,0 +1,40 @@
+#pragma once
+// Lexer for the mini-C subset accepted by SymbC (paper §3.3).
+//
+// SymbC takes "the application C code containing FPGA reconfiguration
+// instructions and resource calls". The subset covers functions, blocks,
+// if/else, while/for loops, declarations/assignments and calls; expressions
+// are treated abstractly (branch conditions are non-deterministic), so the
+// lexer only needs identifiers, numbers and punctuation.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace symbad::symbc {
+
+enum class TokenKind : std::uint8_t {
+  identifier,
+  number,
+  punct,  ///< single punctuation char in `text`
+  end,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::end;
+  std::string text;
+  int line = 0;
+
+  [[nodiscard]] bool is_punct(char c) const noexcept {
+    return kind == TokenKind::punct && text.size() == 1 && text[0] == c;
+  }
+  [[nodiscard]] bool is_identifier(const char* s) const noexcept {
+    return kind == TokenKind::identifier && text == s;
+  }
+};
+
+/// Tokenises `source`; throws std::runtime_error with a line number on
+/// malformed input (unterminated comments, stray characters).
+[[nodiscard]] std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace symbad::symbc

@@ -1,0 +1,23 @@
+#pragma once
+// Recursive-descent parser for SymbC's mini-C subset.
+//
+// Control flow is modelled precisely; expressions are scanned abstractly,
+// collecting any function calls they embed (calls in a branch condition
+// execute before the branch). `reconfig_function` names the reconfiguration
+// procedure (from the configuration information of §3.3); its call sites
+// become `reconfigure` statements whose first argument is the context name.
+
+#include <string>
+#include <vector>
+
+#include "symbc/ast.hpp"
+#include "symbc/lexer.hpp"
+
+namespace symbad::symbc {
+
+/// Parses a full translation unit. Throws std::runtime_error with a line
+/// reference on syntax errors.
+[[nodiscard]] Program parse_program(const std::string& source,
+                                    const std::string& reconfig_function);
+
+}  // namespace symbad::symbc

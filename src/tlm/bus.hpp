@@ -1,0 +1,137 @@
+#pragma once
+// Transaction-level platform interconnect (the paper's AMBA-class bus).
+//
+// Level 2 of the flow replaces level-1 point-to-point channels with a shared
+// bus: "providing the HW with a communication architecture (busses, point to
+// point communication, shared variables)". The model is loosely timed:
+// a blocking `transport` occupies the bus for
+// (arbitration + beats) * clock_period + target_latency and serialises
+// against all other initiators. Per-component statistics feed the
+// performance-evaluation step ("the best compromise between power
+// consumption, bus loading and memory accesses").
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/channels.hpp"
+#include "sim/module.hpp"
+
+namespace symbad::tlm {
+
+enum class Command : std::uint8_t { read, write };
+
+/// A bus transaction: `beats` data words moved to/from `address`.
+struct Payload {
+  Command command = Command::read;
+  std::uint64_t address = 0;
+  std::uint32_t beats = 1;
+  const char* initiator = "?";  ///< for statistics / debug
+};
+
+/// Something mapped into the bus address space.
+class Target {
+public:
+  virtual ~Target() = default;
+  /// Device-side latency added to the bus occupancy for this access.
+  [[nodiscard]] virtual sim::Time access_latency(const Payload& payload) const = 0;
+  /// Side effects (statistics, storage) after the access completes.
+  virtual void complete(const Payload& payload) {}
+  [[nodiscard]] virtual const std::string& target_name() const = 0;
+};
+
+/// Shared-bus model with exclusive-grant arbitration.
+class Bus : public sim::Module {
+public:
+  struct Config {
+    double clock_hz = 50e6;
+    int arbitration_cycles = 1;
+    int cycles_per_beat = 1;
+  };
+
+  Bus(sim::Kernel& kernel, std::string name, Config config);
+
+  /// Maps `[base, base+size)` to `target`. Ranges must not overlap.
+  void map(std::uint64_t base, std::uint64_t size, Target& target);
+
+  /// Blocking transport: acquires the bus, holds it for the transaction
+  /// duration, releases. Called from initiator coroutines.
+  [[nodiscard]] sim::Task<void> transport(Payload payload);
+
+  /// Pure timing query: duration one transaction occupies the bus.
+  [[nodiscard]] sim::Time transaction_time(const Payload& payload) const;
+
+  [[nodiscard]] sim::Time clock_period() const noexcept { return period_; }
+
+  // ------------------------------------------------------------- stats
+  [[nodiscard]] std::uint64_t transactions() const noexcept { return transactions_; }
+  [[nodiscard]] std::uint64_t beats_transferred() const noexcept { return beats_; }
+  [[nodiscard]] sim::Time busy_time() const noexcept { return busy_; }
+  /// Bus load in [0,1] over the elapsed simulated time.
+  [[nodiscard]] double load() const noexcept {
+    const auto now = kernel().now();
+    return now.is_zero() ? 0.0 : busy_.to_seconds() / now.to_seconds();
+  }
+  /// Longest time any initiator waited for the grant.
+  [[nodiscard]] sim::Time worst_grant_wait() const noexcept { return worst_wait_; }
+
+private:
+  struct Mapping {
+    std::uint64_t base;
+    std::uint64_t size;
+    Target* target;
+  };
+  [[nodiscard]] Target& resolve(std::uint64_t address) const;
+
+  Config config_;
+  sim::Time period_;
+  sim::Mutex grant_;
+  std::vector<Mapping> map_;
+  std::uint64_t transactions_ = 0;
+  std::uint64_t beats_ = 0;
+  sim::Time busy_;
+  sim::Time worst_wait_;
+};
+
+/// Timing-level memory model (SRAM / flash): fixed first-access latency plus
+/// optional per-beat wait states.
+class Memory : public Target {
+public:
+  struct Config {
+    int first_access_cycles = 1;
+    int wait_states_per_beat = 0;
+  };
+
+  Memory(std::string name, sim::Time bus_period, Config config)
+      : name_{std::move(name)}, period_{bus_period}, config_{config} {}
+
+  [[nodiscard]] sim::Time access_latency(const Payload& payload) const override {
+    const std::int64_t cycles =
+        config_.first_access_cycles +
+        static_cast<std::int64_t>(config_.wait_states_per_beat) * payload.beats;
+    return sim::Time::cycles(cycles, period_);
+  }
+  void complete(const Payload& payload) override {
+    ++accesses_;
+    if (payload.command == Command::read) {
+      read_beats_ += payload.beats;
+    } else {
+      write_beats_ += payload.beats;
+    }
+  }
+  [[nodiscard]] const std::string& target_name() const override { return name_; }
+
+  [[nodiscard]] std::uint64_t accesses() const noexcept { return accesses_; }
+  [[nodiscard]] std::uint64_t read_beats() const noexcept { return read_beats_; }
+  [[nodiscard]] std::uint64_t write_beats() const noexcept { return write_beats_; }
+
+private:
+  std::string name_;
+  sim::Time period_;
+  Config config_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t read_beats_ = 0;
+  std::uint64_t write_beats_ = 0;
+};
+
+}  // namespace symbad::tlm

@@ -1,0 +1,271 @@
+// Tests for the flow engine (src/core) and the case-study integration
+// (src/app): task graph, partitions, the level-1/2/3 executable models,
+// cross-level trace consistency, analytic grading and exploration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "app/face_system.hpp"
+#include "core/analytic.hpp"
+#include "core/explorer.hpp"
+#include "core/partition.hpp"
+#include "core/system_model.hpp"
+#include "core/task_graph.hpp"
+#include "media/database.hpp"
+
+namespace core = symbad::core;
+namespace app = symbad::app;
+namespace media = symbad::media;
+
+// -------------------------------------------------------------- TaskGraph
+
+TEST(TaskGraph, ConstructionAndQueries) {
+  core::TaskGraph g;
+  g.add_task("a", 100);
+  g.add_task("b", 200);
+  g.add_task("c", 50);
+  g.add_channel("a", "b", 64);
+  g.add_channel("b", "c", 32);
+  EXPECT_EQ(g.task_count(), 3u);
+  EXPECT_EQ(g.task("b").ops_per_frame, 200u);
+  EXPECT_EQ(g.total_ops(), 350u);
+  EXPECT_EQ(g.predecessors("b"), std::vector<std::string>{"a"});
+  EXPECT_EQ(g.successors("b"), std::vector<std::string>{"c"});
+  EXPECT_EQ(g.sources(), std::vector<std::string>{"a"});
+  EXPECT_EQ(g.sinks(), std::vector<std::string>{"c"});
+  EXPECT_EQ(g.topological_order(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(TaskGraph, RejectsDuplicatesAndUnknowns) {
+  core::TaskGraph g;
+  g.add_task("a");
+  EXPECT_THROW(g.add_task("a"), std::invalid_argument);
+  EXPECT_THROW(g.add_channel("a", "zz", 1), std::invalid_argument);
+  EXPECT_THROW((void)g.task("zz"), std::out_of_range);
+}
+
+TEST(TaskGraph, CycleDetected) {
+  core::TaskGraph g;
+  g.add_task("a");
+  g.add_task("b");
+  g.add_channel("a", "b", 1);
+  g.add_channel("b", "a", 1);
+  EXPECT_THROW((void)g.topological_order(), std::logic_error);
+}
+
+// -------------------------------------------------------------- Partition
+
+TEST(Partition, BindingsAndValidation) {
+  core::TaskGraph g;
+  g.add_task("a");
+  g.add_task("b");
+  g.add_channel("a", "b", 8);
+  core::Partition p;
+  p.bind_software("a");
+  EXPECT_THROW(p.validate(g), std::logic_error);  // b unbound
+  p.bind_fpga("b", "config1");
+  p.validate(g);
+  EXPECT_EQ(p.mapping_of("a"), core::Mapping::software);
+  EXPECT_EQ(p.context_of("b"), "config1");
+  EXPECT_THROW((void)p.context_of("a"), std::out_of_range);
+  EXPECT_TRUE(p.crosses_boundary(g.channels()[0]));
+}
+
+TEST(Partition, BoundaryRules) {
+  core::TaskGraph g;
+  g.add_task("a");
+  g.add_task("b");
+  g.add_channel("a", "b", 8);
+  core::Partition p;
+  p.bind_software("a");
+  p.bind_software("b");
+  EXPECT_FALSE(p.crosses_boundary(g.channels()[0]));  // SW-SW: CPU memory
+  p.bind_fpga("a", "c1");
+  p.bind_fpga("b", "c1");
+  EXPECT_FALSE(p.crosses_boundary(g.channels()[0]));  // same context
+  p.bind_fpga("b", "c2");
+  EXPECT_TRUE(p.crosses_boundary(g.channels()[0]));   // context switch
+  p.bind_hardware("a");
+  p.bind_hardware("b");
+  EXPECT_TRUE(p.crosses_boundary(g.channels()[0]));   // distinct HW blocks
+}
+
+// -------------------------------------------- case-study fixture
+
+namespace {
+
+struct CaseStudy {
+  media::FaceDatabase db = media::FaceDatabase::enroll(6, 3);
+  core::TaskGraph graph = app::face_task_graph(db);
+  CaseStudy() {
+    const auto profile = app::profile_reference(db, 2);
+    app::annotate_from_profile(graph, profile, 2);
+  }
+};
+
+CaseStudy& case_study() {
+  static CaseStudy cs;
+  return cs;
+}
+
+}  // namespace
+
+TEST(FaceSystem, GraphMatchesFigure2) {
+  auto& cs = case_study();
+  EXPECT_EQ(cs.graph.task_count(), 12u);
+  EXPECT_TRUE(cs.graph.has_task("CAMERA"));
+  EXPECT_TRUE(cs.graph.has_task("DATABASE"));
+  EXPECT_TRUE(cs.graph.has_task("WINNER"));
+  // Profiling annotated every task.
+  for (const auto& t : cs.graph.tasks()) EXPECT_GT(t.ops_per_frame, 0u) << t.name;
+  // ROOT is the heaviest task, DISTANCE second (among pipeline stages).
+  std::vector<std::string> by_ops;
+  for (const auto& t : cs.graph.tasks()) by_ops.push_back(t.name);
+  std::sort(by_ops.begin(), by_ops.end(), [&cs](const auto& a, const auto& b) {
+    return cs.graph.task(a).ops_per_frame > cs.graph.task(b).ops_per_frame;
+  });
+  EXPECT_EQ(by_ops[0], "ROOT");
+}
+
+TEST(FaceSystem, Level1ModelMatchesReference) {
+  auto& cs = case_study();
+  app::FaceStageRuntime runtime{cs.db};
+  const auto partition = core::Partition::all_software(cs.graph);
+  core::SystemModel model{cs.graph, partition, runtime, {},
+                          core::ModelLevel::untimed_functional};
+  const auto report = model.run(4);
+
+  // The level-1 model recognises the same identities as the C reference.
+  ASSERT_EQ(runtime.identities().size(), 4u);
+  for (int f = 0; f < 4; ++f) {
+    const int id = app::query_identity(f, cs.db.identities());
+    const auto capture = media::camera_capture(media::FaceParams::for_identity(id),
+                                               app::query_pose(f));
+    const auto ref = media::recognize(capture, cs.db);
+    EXPECT_EQ(runtime.identities()[static_cast<std::size_t>(f)], ref.identity)
+        << "frame " << f;
+  }
+  EXPECT_EQ(report.trace.entries().size(), 12u * 4u);
+}
+
+TEST(FaceSystem, Level2TraceMatchesLevel1) {
+  auto& cs = case_study();
+  app::FaceStageRuntime rt1{cs.db};
+  const auto sw = core::Partition::all_software(cs.graph);
+  core::SystemModel level1{cs.graph, sw, rt1, {}, core::ModelLevel::untimed_functional};
+  const auto rep1 = level1.run(3);
+
+  app::FaceStageRuntime rt2{cs.db};
+  const auto part2 = app::paper_level2_partition(cs.graph);
+  core::SystemModel level2{cs.graph, part2, rt2, {}, core::ModelLevel::timed_platform};
+  const auto rep2 = level2.run(3);
+
+  EXPECT_TRUE(symbad::sim::Trace::data_equal(rep1.trace, rep2.trace));
+  EXPECT_GT(rep2.elapsed, symbad::sim::Time::zero());
+  EXPECT_GT(rep2.frames_per_second, 0.0);
+  EXPECT_GT(rep2.bus_load, 0.0);
+  EXPECT_GT(rep2.cpu_utilisation, 0.0);
+}
+
+TEST(FaceSystem, Level3TraceMatchesLevel2AndReconfigures) {
+  auto& cs = case_study();
+  app::FaceStageRuntime rt2{cs.db};
+  const auto part2 = app::paper_level2_partition(cs.graph);
+  core::SystemModel level2{cs.graph, part2, rt2, {}, core::ModelLevel::timed_platform};
+  const auto rep2 = level2.run(3);
+
+  app::FaceStageRuntime rt3{cs.db};
+  const auto part3 = app::paper_level3_partition(cs.graph);
+  core::SystemModel level3{cs.graph, part3, rt3, {}, core::ModelLevel::reconfigurable};
+  const auto rep3 = level3.run(3);
+
+  EXPECT_TRUE(symbad::sim::Trace::data_equal(rep2.trace, rep3.trace));
+  // ROOT and DISTANCE alternate contexts every frame: 2 reconfigs/frame.
+  EXPECT_GE(rep3.reconfigurations, 2u * 3u - 1u);
+  EXPECT_GT(rep3.reconfiguration_time, symbad::sim::Time::zero());
+  EXPECT_EQ(rep3.consistency_violations, 0u);
+  // Reconfiguration bus traffic slows the system down vs level 2.
+  EXPECT_LT(rep3.frames_per_second, rep2.frames_per_second * 1.01);
+}
+
+TEST(FaceSystem, MergedContextAvoidsReconfigurations) {
+  auto& cs = case_study();
+  app::FaceStageRuntime rt_split{cs.db};
+  core::SystemModel split{cs.graph, app::paper_level3_partition(cs.graph), rt_split,
+                          {}, core::ModelLevel::reconfigurable};
+  const auto rep_split = split.run(4);
+
+  app::FaceStageRuntime rt_merged{cs.db};
+  const auto merged_part = app::merged_context_partition(cs.graph);
+  core::SystemModel merged{cs.graph, merged_part, rt_merged, {},
+                           core::ModelLevel::reconfigurable};
+  const auto rep_merged = merged.run(4);
+
+  EXPECT_EQ(rep_merged.reconfigurations, 1u);  // loaded once, never swapped
+  EXPECT_GT(rep_split.reconfigurations, rep_merged.reconfigurations);
+  EXPECT_GT(rep_merged.frames_per_second, rep_split.frames_per_second);
+  EXPECT_TRUE(symbad::sim::Trace::data_equal(rep_split.trace, rep_merged.trace));
+}
+
+TEST(FaceSystem, HardwareAccelerationBeatsAllSoftware) {
+  auto& cs = case_study();
+  app::FaceStageRuntime rt_sw{cs.db};
+  core::SystemModel all_sw{cs.graph, core::Partition::all_software(cs.graph), rt_sw,
+                           {}, core::ModelLevel::timed_platform};
+  const auto rep_sw = all_sw.run(3);
+
+  app::FaceStageRuntime rt_hw{cs.db};
+  const auto part2 = app::paper_level2_partition(cs.graph);
+  core::SystemModel accel{cs.graph, part2, rt_hw, {}, core::ModelLevel::timed_platform};
+  const auto rep_hw = accel.run(3);
+
+  EXPECT_GT(rep_hw.frames_per_second, rep_sw.frames_per_second);
+}
+
+// ------------------------------------------------------- analytic/explorer
+
+TEST(Analytic, GradesAreFiniteAndOrdered) {
+  auto& cs = case_study();
+  core::AnalyticModel model{core::PlatformParams{}};
+  const auto g_sw = model.grade(cs.graph, core::Partition::all_software(cs.graph));
+  const auto g_hw = model.grade(cs.graph, app::paper_level2_partition(cs.graph));
+  EXPECT_GT(g_sw.frames_per_second, 0.0);
+  EXPECT_GT(g_hw.frames_per_second, g_sw.frames_per_second);
+  EXPECT_GT(g_hw.area_units, g_sw.area_units);  // accelerators cost silicon
+  EXPECT_GT(g_sw.power_mw, 0.0);
+}
+
+TEST(Analytic, ReconfigurationCostsThroughput) {
+  auto& cs = case_study();
+  core::AnalyticModel model{core::PlatformParams{}};
+  const auto part = app::paper_level3_partition(cs.graph);
+  const auto no_reconf = model.grade(cs.graph, part, 0);
+  const auto reconf = model.grade(cs.graph, part, 2);
+  EXPECT_GT(no_reconf.frames_per_second, reconf.frames_per_second);
+}
+
+TEST(Explorer, FindsAcceleratedParetoPoints) {
+  auto& cs = case_study();
+  core::Explorer::Options opts;
+  opts.pinned_software = {"CAMERA", "DATABASE", "WINNER"};
+  opts.max_hw_tasks = 2;
+  core::Explorer explorer{cs.graph, core::AnalyticModel{core::PlatformParams{}}, opts};
+  const auto points = explorer.explore();
+  ASSERT_GT(points.size(), 10u);
+  // Best merit point accelerates something.
+  EXPECT_NE(points.front().label, "all-SW");
+
+  const auto front = core::Explorer::pareto_front(points);
+  ASSERT_FALSE(front.empty());
+  EXPECT_LE(front.size(), points.size());
+  // all-SW is Pareto-optimal on area (cheapest) — must appear in the front.
+  const bool has_all_sw = std::any_of(front.begin(), front.end(), [](const auto& p) {
+    return p.label == "all-SW";
+  });
+  EXPECT_TRUE(has_all_sw);
+
+  const auto* constrained = core::Explorer::best_under(points, 0.0, 1300.0, 0.0);
+  ASSERT_NE(constrained, nullptr);
+  EXPECT_LE(constrained->grade.area_units, 1300.0);
+}

@@ -1,0 +1,134 @@
+// Integration property sweeps across the whole flow.
+//
+// The methodology's central soundness invariant: *whatever* partition the
+// explorer chooses and *whatever* level the model is refined to, the
+// computed data (the per-stage trace) must equal the level-1 functional
+// model's. These parameterised sweeps check that invariant over a family of
+// randomly generated partitions, plus end-to-end determinism.
+
+#include <gtest/gtest.h>
+
+#include "app/face_system.hpp"
+#include "core/system_model.hpp"
+#include "lpv/lpv.hpp"
+#include "lpv/petri.hpp"
+#include "media/database.hpp"
+#include "verif/rng.hpp"
+
+namespace core = symbad::core;
+namespace app = symbad::app;
+namespace media = symbad::media;
+
+namespace {
+
+struct Fixture {
+  media::FaceDatabase db = media::FaceDatabase::enroll(4, 2);
+  core::TaskGraph graph = app::face_task_graph(db);
+  symbad::sim::Trace golden;
+
+  Fixture() {
+    const auto profile = app::profile_reference(db, 2);
+    app::annotate_from_profile(graph, profile, 2);
+    app::FaceStageRuntime runtime{db};
+    core::SystemModel level1{graph, core::Partition::all_software(graph), runtime, {},
+                             core::ModelLevel::untimed_functional};
+    golden = level1.run(3).trace;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+/// A random but well-formed partition: sources/sinks stay in software; other
+/// tasks go to SW/HW/FPGA with random context assignment.
+core::Partition random_partition(const core::TaskGraph& graph, unsigned seed) {
+  symbad::verif::Rng rng{seed};
+  core::Partition p = core::Partition::all_software(graph);
+  for (const auto& node : graph.tasks()) {
+    if (node.name == "CAMERA" || node.name == "DATABASE" || node.name == "WINNER") {
+      continue;
+    }
+    switch (rng.below(3)) {
+      case 0: break;  // software
+      case 1: p.bind_hardware(node.name); break;
+      default:
+        p.bind_fpga(node.name, rng.chance(0.5) ? "config1" : "config2");
+        break;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+class CrossLevelConsistency : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CrossLevelConsistency, Level2TraceEqualsGoldenForRandomPartition) {
+  auto& fx = fixture();
+  const auto partition = random_partition(fx.graph, GetParam());
+  app::FaceStageRuntime runtime{fx.db};
+  core::SystemModel model{fx.graph, partition, runtime, {},
+                          core::ModelLevel::timed_platform};
+  const auto report = model.run(3);
+  EXPECT_TRUE(symbad::sim::Trace::data_equal(fx.golden, report.trace))
+      << partition.describe();
+  EXPECT_GT(report.frames_per_second, 0.0);
+}
+
+TEST_P(CrossLevelConsistency, Level3TraceEqualsGoldenForRandomPartition) {
+  auto& fx = fixture();
+  const auto partition = random_partition(fx.graph, GetParam());
+  app::FaceStageRuntime runtime{fx.db};
+  core::SystemModel model{fx.graph, partition, runtime, {},
+                          core::ModelLevel::reconfigurable};
+  const auto report = model.run(3);
+  EXPECT_TRUE(symbad::sim::Trace::data_equal(fx.golden, report.trace))
+      << partition.describe();
+  EXPECT_EQ(report.consistency_violations, 0u);
+}
+
+TEST_P(CrossLevelConsistency, DeadlockFreenessHoldsForRandomPartition) {
+  // Partitioning never changes the channel structure, so the level-1 proof
+  // carries over — LPV must agree on every candidate's net.
+  auto& fx = fixture();
+  const auto net = symbad::lpv::petri_from_task_graph(fx.graph);
+  EXPECT_TRUE(symbad::lpv::check_deadlock_freeness(net).proved_free);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossLevelConsistency, ::testing::Range(1u, 13u));
+
+TEST(Integration, RepeatedRunsAreBitIdentical) {
+  auto& fx = fixture();
+  const auto partition = app::paper_level3_partition(fx.graph);
+  std::uint64_t fingerprints[2];
+  for (int run = 0; run < 2; ++run) {
+    app::FaceStageRuntime runtime{fx.db};
+    core::SystemModel model{fx.graph, partition, runtime, {},
+                            core::ModelLevel::reconfigurable};
+    fingerprints[run] = model.run(3).trace.fingerprint();
+  }
+  EXPECT_EQ(fingerprints[0], fingerprints[1]);
+}
+
+TEST(Integration, MoreFramesExtendTraceMonotonically) {
+  auto& fx = fixture();
+  app::FaceStageRuntime rt_short{fx.db};
+  core::SystemModel short_model{fx.graph, core::Partition::all_software(fx.graph),
+                                rt_short, {}, core::ModelLevel::untimed_functional};
+  const auto short_trace = short_model.run(2).trace.by_channel();
+
+  app::FaceStageRuntime rt_long{fx.db};
+  core::SystemModel long_model{fx.graph, core::Partition::all_software(fx.graph),
+                               rt_long, {}, core::ModelLevel::untimed_functional};
+  const auto long_trace = long_model.run(4).trace.by_channel();
+
+  for (const auto& [channel, values] : short_trace) {
+    const auto& longer = long_trace.at(channel);
+    ASSERT_GE(longer.size(), values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(longer[i], values[i]) << channel << "[" << i << "]";
+    }
+  }
+}

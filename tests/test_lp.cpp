@@ -1,0 +1,232 @@
+// Unit and property tests for the dense simplex LP solver (src/lp).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "lp/simplex.hpp"
+
+namespace lp = symbad::lp;
+using lp::Problem;
+using lp::Relation;
+using lp::Sense;
+using lp::Solver;
+using lp::SolveStatus;
+using lp::Term;
+
+namespace {
+constexpr double kTol = 1e-6;
+}
+
+TEST(Simplex, TextbookMaximisation) {
+  // max 3x + 2y  s.t.  x + y <= 4,  x + 3y <= 6,  x,y >= 0  ->  12 at (4,0)
+  Problem p;
+  const int x = p.add_variable();
+  const int y = p.add_variable();
+  p.add_constraint({Term{x, 1.0}, Term{y, 1.0}}, Relation::le, 4.0);
+  p.add_constraint({Term{x, 1.0}, Term{y, 3.0}}, Relation::le, 6.0);
+  p.set_objective({Term{x, 3.0}, Term{y, 2.0}}, Sense::maximize);
+
+  const auto sol = Solver{}.solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::optimal);
+  EXPECT_NEAR(sol.objective, 12.0, kTol);
+  EXPECT_NEAR(sol.value(x), 4.0, kTol);
+  EXPECT_NEAR(sol.value(y), 0.0, kTol);
+}
+
+TEST(Simplex, TextbookMinimisation) {
+  // min 2x + 3y  s.t.  x + y >= 10,  x >= 2,  y >= 3  ->  x=7,y=3 -> 23
+  Problem p;
+  const int x = p.add_variable(2.0);
+  const int y = p.add_variable(3.0);
+  p.add_constraint({Term{x, 1.0}, Term{y, 1.0}}, Relation::ge, 10.0);
+  p.set_objective({Term{x, 2.0}, Term{y, 3.0}}, Sense::minimize);
+
+  const auto sol = Solver{}.solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::optimal);
+  EXPECT_NEAR(sol.objective, 23.0, kTol);
+  EXPECT_NEAR(sol.value(x), 7.0, kTol);
+  EXPECT_NEAR(sol.value(y), 3.0, kTol);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  Problem p;
+  const int x = p.add_variable();
+  p.add_constraint({Term{x, 1.0}}, Relation::le, 1.0);
+  p.add_constraint({Term{x, 1.0}}, Relation::ge, 2.0);
+  p.set_objective({Term{x, 1.0}}, Sense::minimize);
+  EXPECT_EQ(Solver{}.solve(p).status, SolveStatus::infeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  Problem p;
+  const int x = p.add_variable();
+  p.set_objective({Term{x, 1.0}}, Sense::maximize);
+  EXPECT_EQ(Solver{}.solve(p).status, SolveStatus::unbounded);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + y  s.t.  x + y == 5, x - y == 1  ->  x=3, y=2
+  Problem p;
+  const int x = p.add_variable();
+  const int y = p.add_variable();
+  p.add_constraint({Term{x, 1.0}, Term{y, 1.0}}, Relation::eq, 5.0);
+  p.add_constraint({Term{x, 1.0}, Term{y, -1.0}}, Relation::eq, 1.0);
+  p.set_objective({Term{x, 1.0}, Term{y, 1.0}}, Sense::minimize);
+
+  const auto sol = Solver{}.solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::optimal);
+  EXPECT_NEAR(sol.value(x), 3.0, kTol);
+  EXPECT_NEAR(sol.value(y), 2.0, kTol);
+}
+
+TEST(Simplex, FreeVariables) {
+  // min x  s.t.  x >= -5  with x free  ->  -5
+  Problem p;
+  const int x = p.add_free_variable("x");
+  p.add_constraint({Term{x, 1.0}}, Relation::ge, -5.0);
+  p.set_objective({Term{x, 1.0}}, Sense::minimize);
+
+  const auto sol = Solver{}.solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::optimal);
+  EXPECT_NEAR(sol.value(x), -5.0, kTol);
+  EXPECT_NEAR(sol.objective, -5.0, kTol);
+}
+
+TEST(Simplex, VariableBoundsRespected) {
+  Problem p;
+  const int x = p.add_variable(2.0, 5.0);
+  p.set_objective({Term{x, 1.0}}, Sense::maximize);
+  auto sol = Solver{}.solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::optimal);
+  EXPECT_NEAR(sol.value(x), 5.0, kTol);
+
+  p.set_objective({Term{x, 1.0}}, Sense::minimize);
+  sol = Solver{}.solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::optimal);
+  EXPECT_NEAR(sol.value(x), 2.0, kTol);
+}
+
+TEST(Simplex, NegativeLowerBoundShift) {
+  // min x + y with x in [-10, -1], y in [3, inf), x + y >= -5  -> x=-8? No:
+  // minimise x+y subject to x+y >= -5 -> objective -5 on the constraint line.
+  Problem p;
+  const int x = p.add_variable(-10.0, -1.0);
+  const int y = p.add_variable(3.0);
+  p.add_constraint({Term{x, 1.0}, Term{y, 1.0}}, Relation::ge, -5.0);
+  p.set_objective({Term{x, 1.0}, Term{y, 1.0}}, Sense::minimize);
+  const auto sol = Solver{}.solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::optimal);
+  EXPECT_NEAR(sol.objective, -5.0, kTol);
+  EXPECT_GE(sol.value(x), -10.0 - kTol);
+  EXPECT_LE(sol.value(x), -1.0 + kTol);
+  EXPECT_GE(sol.value(y), 3.0 - kTol);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic degenerate vertex: multiple constraints meet at the optimum.
+  Problem p;
+  const int x = p.add_variable();
+  const int y = p.add_variable();
+  p.add_constraint({Term{x, 1.0}, Term{y, 1.0}}, Relation::le, 1.0);
+  p.add_constraint({Term{x, 1.0}}, Relation::le, 1.0);
+  p.add_constraint({Term{y, 1.0}}, Relation::le, 1.0);
+  p.add_constraint({Term{x, 2.0}, Term{y, 2.0}}, Relation::le, 2.0);
+  p.set_objective({Term{x, 1.0}, Term{y, 1.0}}, Sense::maximize);
+  const auto sol = Solver{}.solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::optimal);
+  EXPECT_NEAR(sol.objective, 1.0, kTol);
+}
+
+TEST(Simplex, RedundantEqualityRowsHandled) {
+  Problem p;
+  const int x = p.add_variable();
+  p.add_constraint({Term{x, 1.0}}, Relation::eq, 3.0);
+  p.add_constraint({Term{x, 2.0}}, Relation::eq, 6.0);  // redundant
+  p.set_objective({Term{x, 1.0}}, Sense::minimize);
+  const auto sol = Solver{}.solve(p);
+  ASSERT_EQ(sol.status, SolveStatus::optimal);
+  EXPECT_NEAR(sol.value(x), 3.0, kTol);
+}
+
+TEST(Simplex, InvalidVariableIndexThrows) {
+  Problem p;
+  (void)p.add_variable();
+  EXPECT_THROW(p.add_constraint({Term{5, 1.0}}, Relation::le, 1.0), std::out_of_range);
+}
+
+TEST(Simplex, InvertedBoundsThrow) {
+  Problem p;
+  EXPECT_THROW(p.add_variable(3.0, 1.0), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- properties
+
+/// Random LPs with a planted feasible point: the solver must (a) find the
+/// problem feasible and (b) return a solution satisfying every constraint,
+/// with objective at least as good as the planted point's.
+class SimplexRandomised : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SimplexRandomised, PlantedFeasiblePointIsDominated) {
+  std::mt19937 rng{GetParam()};
+  std::uniform_real_distribution<double> coef{-5.0, 5.0};
+  std::uniform_int_distribution<int> var_count{2, 8};
+  std::uniform_int_distribution<int> con_count{2, 12};
+
+  const int n = var_count(rng);
+  const int m = con_count(rng);
+
+  Problem p;
+  std::vector<double> planted(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    (void)p.add_variable();
+    planted[static_cast<std::size_t>(v)] =
+        std::uniform_real_distribution<double>{0.0, 4.0}(rng);
+  }
+  std::vector<std::vector<double>> rows;
+  std::vector<double> rhs;
+  for (int c = 0; c < m; ++c) {
+    std::vector<Term> terms;
+    std::vector<double> coefs(static_cast<std::size_t>(n));
+    double at_planted = 0.0;
+    for (int v = 0; v < n; ++v) {
+      const double a = coef(rng);
+      coefs[static_cast<std::size_t>(v)] = a;
+      terms.push_back(Term{v, a});
+      at_planted += a * planted[static_cast<std::size_t>(v)];
+    }
+    const double slack = std::uniform_real_distribution<double>{0.0, 3.0}(rng);
+    p.add_constraint(terms, Relation::le, at_planted + slack);
+    rows.push_back(std::move(coefs));
+    rhs.push_back(at_planted + slack);
+  }
+  std::vector<Term> objective;
+  std::vector<double> obj_coefs(static_cast<std::size_t>(n));
+  double planted_objective = 0.0;
+  for (int v = 0; v < n; ++v) {
+    const double a = coef(rng);
+    obj_coefs[static_cast<std::size_t>(v)] = a;
+    objective.push_back(Term{v, a});
+    planted_objective += a * planted[static_cast<std::size_t>(v)];
+  }
+  p.set_objective(objective, Sense::minimize);
+
+  const auto sol = Solver{}.solve(p);
+  ASSERT_TRUE(sol.status == SolveStatus::optimal || sol.status == SolveStatus::unbounded);
+  if (sol.status != SolveStatus::optimal) return;
+
+  EXPECT_LE(sol.objective, planted_objective + 1e-5);
+  for (std::size_t c = 0; c < rows.size(); ++c) {
+    double lhs = 0.0;
+    for (int v = 0; v < n; ++v) {
+      lhs += rows[c][static_cast<std::size_t>(v)] * sol.value(v);
+    }
+    EXPECT_LE(lhs, rhs[c] + 1e-5) << "constraint " << c << " violated";
+  }
+  for (int v = 0; v < n; ++v) EXPECT_GE(sol.value(v), -1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomised,
+                         ::testing::Range(1u, 33u));

@@ -1,0 +1,213 @@
+// Tests for linear-programming verification (src/lpv): Petri nets, marking-
+// equation unreachability, deadlock freeness, deadlines, FIFO dimensioning.
+
+#include <gtest/gtest.h>
+
+#include "app/face_system.hpp"
+#include "lpv/lpv.hpp"
+#include "lpv/petri.hpp"
+#include "media/database.hpp"
+
+namespace lpv = symbad::lpv;
+namespace core = symbad::core;
+namespace app = symbad::app;
+namespace media = symbad::media;
+
+namespace {
+
+/// Producer-consumer net with a 2-slot FIFO.
+lpv::PetriNet producer_consumer() {
+  lpv::PetriNet net;
+  const int tokens = net.add_place("tokens", 0);
+  const int slots = net.add_place("slots", 2);
+  const int prod = net.add_transition("prod", 1.0);
+  const int cons = net.add_transition("cons", 2.0);
+  net.add_input_arc(slots, prod);
+  net.add_output_arc(prod, tokens);
+  net.add_input_arc(tokens, cons);
+  net.add_output_arc(cons, slots);
+  return net;
+}
+
+/// A net that genuinely deadlocks: two processes each holding one of two
+/// resources and waiting for the other (circular wait).
+lpv::PetriNet deadlockable() {
+  lpv::PetriNet net;
+  const int r1 = net.add_place("r1", 1);
+  const int r2 = net.add_place("r2", 1);
+  const int p1_wait = net.add_place("p1_wait", 1);
+  const int p1_has1 = net.add_place("p1_has_r1", 0);
+  const int p2_wait = net.add_place("p2_wait", 1);
+  const int p2_has2 = net.add_place("p2_has_r2", 0);
+  const int done = net.add_place("done", 0);
+
+  const int p1_take1 = net.add_transition("p1_take_r1");
+  net.add_input_arc(p1_wait, p1_take1);
+  net.add_input_arc(r1, p1_take1);
+  net.add_output_arc(p1_take1, p1_has1);
+  const int p1_take2 = net.add_transition("p1_take_r2");
+  net.add_input_arc(p1_has1, p1_take2);
+  net.add_input_arc(r2, p1_take2);
+  net.add_output_arc(p1_take2, done);
+
+  const int p2_take2 = net.add_transition("p2_take_r2");
+  net.add_input_arc(p2_wait, p2_take2);
+  net.add_input_arc(r2, p2_take2);
+  net.add_output_arc(p2_take2, p2_has2);
+  const int p2_take1 = net.add_transition("p2_take_r1");
+  net.add_input_arc(p2_has2, p2_take1);
+  net.add_input_arc(r1, p2_take1);
+  net.add_output_arc(p2_take1, done);
+  return net;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- net
+
+TEST(Petri, TokenGameSemantics) {
+  auto net = producer_consumer();
+  auto m = net.initial_marking_vector();
+  const int prod = net.transition("prod");
+  const int cons = net.transition("cons");
+  EXPECT_TRUE(net.enabled(m, prod));
+  EXPECT_FALSE(net.enabled(m, cons));
+  net.fire(m, prod);
+  net.fire(m, prod);
+  EXPECT_FALSE(net.enabled(m, prod));  // slots exhausted
+  EXPECT_TRUE(net.enabled(m, cons));
+  net.fire(m, cons);
+  EXPECT_TRUE(net.enabled(m, prod));
+  EXPECT_FALSE(net.is_dead(m));
+}
+
+TEST(Petri, IncidenceMatrix) {
+  auto net = producer_consumer();
+  EXPECT_EQ(net.incidence(net.place("tokens"), net.transition("prod")), 1.0);
+  EXPECT_EQ(net.incidence(net.place("tokens"), net.transition("cons")), -1.0);
+  EXPECT_EQ(net.incidence(net.place("slots"), net.transition("prod")), -1.0);
+  EXPECT_EQ(net.pre(net.place("slots"), net.transition("prod")), 1.0);
+}
+
+// ----------------------------------------------------------- reachability
+
+TEST(Lpv, OverfillingBoundedFifoProvedUnreachable) {
+  auto net = producer_consumer();
+  // tokens >= 3 is impossible: capacity invariant tokens + slots = 2.
+  const auto result = lpv::check_unreachable(
+      net, {lpv::MarkingConstraint{net.place("tokens"), lpv::Relation::ge, 3.0}});
+  EXPECT_EQ(result.verdict, lpv::Verdict::proved_unreachable);
+}
+
+TEST(Lpv, ReachableMarkingIsMaybe) {
+  auto net = producer_consumer();
+  const auto result = lpv::check_unreachable(
+      net, {lpv::MarkingConstraint{net.place("tokens"), lpv::Relation::ge, 2.0}});
+  EXPECT_EQ(result.verdict, lpv::Verdict::maybe_reachable);
+  EXPECT_FALSE(result.witness_marking.empty());
+}
+
+// --------------------------------------------------------------- deadlock
+
+TEST(Lpv, ProducerConsumerIsDeadlockFree) {
+  auto net = producer_consumer();
+  const auto result = lpv::check_deadlock_freeness(net);
+  EXPECT_TRUE(result.proved_free);
+  EXPECT_FALSE(result.counterexample_found);
+}
+
+TEST(Lpv, CircularWaitDeadlockFound) {
+  auto net = deadlockable();
+  const auto result = lpv::check_deadlock_freeness(net);
+  EXPECT_FALSE(result.proved_free);
+  EXPECT_TRUE(result.counterexample_found);
+  // The classic trace: each process grabs its first resource.
+  EXPECT_FALSE(result.counterexample_trace.empty());
+}
+
+TEST(Lpv, FaceGraphNetIsDeadlockFree) {
+  const auto db = media::FaceDatabase::enroll(4, 2);
+  const auto graph = app::face_task_graph(db);
+  const auto net = lpv::petri_from_task_graph(graph);
+  const auto result = lpv::check_deadlock_freeness(net);
+  EXPECT_TRUE(result.proved_free);
+}
+
+// --------------------------------------------------------------- realtime
+
+TEST(Lpv, MinimumPeriodMatchesBottleneck) {
+  core::TaskGraph g;
+  g.add_task("a");
+  g.add_task("b");
+  g.add_task("c");
+  g.add_channel("a", "b", 1, 2);
+  g.add_channel("b", "c", 1, 2);
+  const std::map<std::string, double> durations{{"a", 1.0}, {"b", 5.0}, {"c", 2.0}};
+  const auto result = lpv::minimum_period(g, durations);
+  ASSERT_TRUE(result.feasible);
+  // Pipelined: period = slowest stage.
+  EXPECT_NEAR(result.min_period_s, 5.0, 1e-6);
+}
+
+TEST(Lpv, UnitCapacityLimitsThroughput) {
+  core::TaskGraph g;
+  g.add_task("a");
+  g.add_task("b");
+  g.add_channel("a", "b", 1, 1);  // capacity 1: a must wait for b's slot
+  const std::map<std::string, double> durations{{"a", 3.0}, {"b", 4.0}};
+  const auto result = lpv::minimum_period(g, durations);
+  ASSERT_TRUE(result.feasible);
+  // With one slot the producer and consumer alternate less freely than the
+  // pure bottleneck; period is still >= slowest stage.
+  EXPECT_GE(result.min_period_s, 4.0 - 1e-9);
+}
+
+TEST(Lpv, DeadlineCheck) {
+  core::TaskGraph g;
+  g.add_task("a");
+  g.add_task("b");
+  g.add_channel("a", "b", 1, 2);
+  const std::map<std::string, double> durations{{"a", 2.0}, {"b", 3.0}};
+  EXPECT_TRUE(lpv::check_deadline(g, durations, 3.5).met);
+  const auto miss = lpv::check_deadline(g, durations, 2.5);
+  EXPECT_FALSE(miss.met);
+  EXPECT_LT(miss.slack_s, 0.0);
+}
+
+TEST(Lpv, FifoSizingForTargetPeriod) {
+  core::TaskGraph g;
+  g.add_task("a");
+  g.add_task("b");
+  g.add_task("c");
+  g.add_channel("a", "b", 1, 8);
+  g.add_channel("b", "c", 1, 8);
+  const std::map<std::string, double> durations{{"a", 1.0}, {"b", 2.0}, {"c", 4.0}};
+  // At the loosest feasible period (4.0) small FIFOs suffice.
+  const auto sizing = lpv::size_fifos_for_period(g, durations, 4.0);
+  ASSERT_TRUE(sizing.feasible);
+  EXPECT_EQ(sizing.capacities.size(), 2u);
+  for (const auto& [channel, capacity] : sizing.capacities) {
+    EXPECT_GE(capacity, 1);
+    EXPECT_LE(capacity, 3);
+  }
+  // An impossible period (< slowest task) is infeasible.
+  EXPECT_FALSE(lpv::size_fifos_for_period(g, durations, 3.0).feasible);
+}
+
+TEST(Lpv, FaceGraphDeadlineAtTargetFrameRate) {
+  // Level-2 timing: per-task durations from the annotated graph on the
+  // ARM7-class CPU. The real-time property of §3.2: one frame per 150 ms.
+  const auto db = media::FaceDatabase::enroll(6, 3);
+  auto graph = app::face_task_graph(db);
+  const auto profile = app::profile_reference(db, 2);
+  app::annotate_from_profile(graph, profile, 2);
+
+  std::map<std::string, double> durations;
+  const double cpu_ops_per_s = 50e6 / 1.8;
+  for (const auto& node : graph.tasks()) {
+    durations[node.name] = static_cast<double>(node.ops_per_frame) / cpu_ops_per_s;
+  }
+  const auto result = lpv::check_deadline(graph, durations, 0.150);
+  EXPECT_TRUE(result.met) << "min period " << result.min_period_s;
+  EXPECT_GT(result.min_period_s, 0.0);
+}

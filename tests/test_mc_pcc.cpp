@@ -1,0 +1,280 @@
+// Tests for the model checker (src/mc), the property coverage checker
+// (src/pcc) and the case study's level-4 RTL blocks (src/app).
+
+#include <gtest/gtest.h>
+
+#include "app/rtl_blocks.hpp"
+#include "mc/mc.hpp"
+#include "pcc/pcc.hpp"
+#include "rtl/wordops.hpp"
+
+namespace mc = symbad::mc;
+namespace pcc = symbad::pcc;
+namespace app = symbad::app;
+namespace rtl = symbad::rtl;
+
+namespace {
+
+/// Saturating 3-bit up-counter with an enable: stops at 7.
+rtl::Netlist saturating_counter() {
+  rtl::Netlist n{"satcnt"};
+  const auto en = n.add_input("en");
+  const auto regs = rtl::make_registers(n, "c", 3, 0);
+  const auto one = rtl::make_constant(n, 1, 3);
+  const auto [inc, carry] = rtl::add(n, regs, one);
+  (void)carry;
+  const auto at_max = rtl::equal_constant(n, regs, 7);
+  const auto hold = n.add_or(at_max, n.add_not(en));
+  const auto next = rtl::mux_word(n, hold, regs, inc);
+  rtl::connect_registers(n, regs, next);
+  rtl::set_output_word(n, "c", regs);
+  n.set_output("at_max", at_max);
+  n.set_output("en_out", en);
+  return n;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- Expr
+
+TEST(McExpr, EvaluatesAgainstSimulator) {
+  const auto n = saturating_counter();
+  rtl::Simulator sim{n};
+  const auto e = !mc::Expr::signal("at_max") || mc::Expr::signal("c[0]");
+  sim.eval();
+  EXPECT_TRUE(e.eval(sim, n));  // at reset at_max=0
+  EXPECT_NE(e.to_string().find("at_max"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- MC
+
+TEST(Mc, InvariantProvedByInduction) {
+  // "c <= 7" is trivially true (3 bits) — pick a real invariant instead:
+  // at_max -> all bits set. Inductive and true.
+  const auto n = saturating_counter();
+  const mc::ModelChecker checker{n};
+  const auto inv = mc::Property::invariant(
+      "at_max_means_all_ones",
+      mc::Expr::signal("at_max").implies(mc::Expr::signal("c[0]") &&
+                                         mc::Expr::signal("c[1]") &&
+                                         mc::Expr::signal("c[2]")));
+  const auto result = checker.check(inv);
+  EXPECT_EQ(result.status, mc::CheckStatus::proved);
+}
+
+TEST(Mc, FalseInvariantFalsifiedWithCounterexample) {
+  const auto n = saturating_counter();
+  const mc::ModelChecker checker{n};
+  // "the counter never reaches 7" is false after 7 enabled cycles.
+  const auto inv = mc::Property::invariant("never_max", !mc::Expr::signal("at_max"));
+  const auto result = checker.check(inv);
+  EXPECT_EQ(result.status, mc::CheckStatus::falsified);
+  ASSERT_TRUE(result.counterexample.has_value());
+  EXPECT_GE(result.counterexample->inputs.size(), 7u);
+  // The counterexample must enable the counter at least 7 times.
+  int enables = 0;
+  for (const auto& frame : result.counterexample->inputs) {
+    if (frame.at("en")) ++enables;
+  }
+  EXPECT_GE(enables, 7);
+}
+
+TEST(Mc, NextImplicationProved) {
+  // Once saturated, the counter stays saturated (en or not).
+  const auto n = saturating_counter();
+  const mc::ModelChecker checker{n};
+  const auto prop = mc::Property::next("saturation_is_sticky",
+                                       mc::Expr::signal("at_max"),
+                                       mc::Expr::signal("at_max"));
+  const auto result = checker.check(prop);
+  EXPECT_EQ(result.status, mc::CheckStatus::proved);
+}
+
+TEST(Mc, NextImplicationFalsified) {
+  // "c[0] stays set" is false: bit 0 toggles.
+  const auto n = saturating_counter();
+  const mc::ModelChecker checker{n};
+  const auto prop = mc::Property::next("bit0_sticky", mc::Expr::signal("c[0]"),
+                                       mc::Expr::signal("c[0]"));
+  const auto result = checker.check(prop);
+  EXPECT_EQ(result.status, mc::CheckStatus::falsified);
+}
+
+TEST(Mc, BoundedResponse) {
+  const auto n = saturating_counter();
+  const mc::ModelChecker checker{n};
+  // en in 3 consecutive... simpler: from reset, at_max within 6 steps of en
+  // is NOT guaranteed (en may drop) -> falsified quickly.
+  const auto bad = mc::Property::respond("max_too_soon", mc::Expr::signal("en_out"),
+                                         mc::Expr::signal("at_max"), 3);
+  EXPECT_EQ(checker.check(bad).status, mc::CheckStatus::falsified);
+  // A response that always holds within the bound: c[0] set within 1 cycle of
+  // (en & !c[0])? Not guaranteed either. Use a trivially-true response:
+  const auto ok = mc::Property::respond("trivial", mc::Expr::signal("at_max"),
+                                        mc::Expr::signal("c[0]"), 0);
+  EXPECT_EQ(checker.check(ok).status, mc::CheckStatus::no_cex_within_bound);
+}
+
+// ------------------------------------------------------- case-study RTL
+
+TEST(RootRtl, MatchesReferenceForSampledOperands) {
+  const auto n = app::build_root_rtl();
+  rtl::Simulator sim{n};
+  rtl::Word op;
+  for (int i = 0; i < 16; ++i) op.bits.push_back(n.input("op[" + std::to_string(i) + "]"));
+
+  for (std::uint32_t value : {0u, 1u, 2u, 9u, 100u, 255u, 256u, 1000u, 4095u, 65535u}) {
+    sim.set_input("start", true);
+    rtl::drive_word(sim, op, value);
+    sim.step();  // load
+    sim.set_input("start", false);
+    for (int c = 0; c < app::kRootLatencyCycles; ++c) sim.step();
+    EXPECT_TRUE(sim.output("done")) << value;
+    rtl::Word result;
+    for (int i = 0; i < 12; ++i) {
+      result.bits.push_back(n.output("result[" + std::to_string(i) + "]"));
+    }
+    EXPECT_EQ(rtl::read_word(sim, result),
+              app::root_reference(static_cast<std::uint16_t>(value)))
+        << "operand " << value;
+  }
+}
+
+TEST(DistanceRtl, AccumulatesAbsoluteDifferences) {
+  const auto n = app::build_distance_rtl(8, 16);
+  rtl::Simulator sim{n};
+  rtl::Word a;
+  rtl::Word b;
+  rtl::Word acc;
+  for (int i = 0; i < 8; ++i) {
+    a.bits.push_back(n.input("a[" + std::to_string(i) + "]"));
+    b.bits.push_back(n.input("b[" + std::to_string(i) + "]"));
+  }
+  for (int i = 0; i < 16; ++i) {
+    acc.bits.push_back(n.output("acc[" + std::to_string(i) + "]"));
+  }
+  sim.set_input("clear", true);
+  sim.set_input("valid", false);
+  sim.step();
+  sim.set_input("clear", false);
+  sim.set_input("valid", true);
+  std::uint64_t expected = 0;
+  const std::pair<std::uint64_t, std::uint64_t> samples[] = {
+      {10, 3}, {3, 10}, {255, 0}, {128, 128}, {77, 200}};
+  for (const auto& [va, vb] : samples) {
+    rtl::drive_word(sim, a, va);
+    rtl::drive_word(sim, b, vb);
+    sim.step();
+    expected += va > vb ? va - vb : vb - va;
+    EXPECT_EQ(rtl::read_word(sim, acc), expected);
+  }
+  EXPECT_FALSE(sim.output("overflow"));
+  sim.set_input("clear", true);
+  sim.step();
+  EXPECT_EQ(rtl::read_word(sim, acc), 0u);
+}
+
+TEST(WrapperFsm, WalksThroughProtocol) {
+  const auto n = app::build_wrapper_fsm();
+  rtl::Simulator sim{n};
+  EXPECT_FALSE(sim.output("busy"));
+  sim.set_input("start", true);
+  sim.step();
+  sim.set_input("start", false);
+  EXPECT_TRUE(sim.output("busy"));
+  EXPECT_TRUE(sim.output("bus_req"));  // LOAD
+  sim.set_input("xfer_done", true);
+  sim.step();
+  sim.set_input("xfer_done", false);
+  EXPECT_TRUE(sim.output("dev_start"));  // EXEC
+  EXPECT_FALSE(sim.output("bus_req"));
+  sim.set_input("dev_done", true);
+  sim.step();
+  sim.set_input("dev_done", false);
+  EXPECT_TRUE(sim.output("bus_req"));  // STORE
+  sim.set_input("xfer_done", true);
+  sim.eval();
+  EXPECT_TRUE(sim.output("ack"));
+  sim.step();
+  sim.set_input("xfer_done", false);
+  sim.eval();
+  EXPECT_FALSE(sim.output("busy"));  // back to IDLE
+}
+
+TEST(WrapperFsm, SafetyPropertiesProved) {
+  const auto n = app::build_wrapper_fsm();
+  const mc::ModelChecker checker{n};
+  // The device never starts while the bus is being used by the wrapper.
+  const auto exclusive = mc::Property::invariant(
+      "no_dev_start_during_bus_req",
+      !(mc::Expr::signal("dev_start") && mc::Expr::signal("bus_req")));
+  EXPECT_EQ(checker.check(exclusive).status, mc::CheckStatus::proved);
+  // An ack only happens while busy.
+  const auto ack_busy = mc::Property::invariant(
+      "ack_implies_busy", mc::Expr::signal("ack").implies(mc::Expr::signal("busy")));
+  EXPECT_EQ(checker.check(ack_busy).status, mc::CheckStatus::proved);
+}
+
+TEST(RootRtl, DoneStableInvariant) {
+  const auto n = app::build_root_rtl();
+  const mc::ModelChecker checker{n};
+  // busy and done are never asserted together... done rises exactly when
+  // busy drops; they can overlap for zero cycles by construction:
+  const auto prop = mc::Property::invariant(
+      "busy_xor_done_weak",
+      !(mc::Expr::signal("busy") && mc::Expr::signal("done")));
+  const auto result = checker.check(prop, {10, 3});
+  // This invariant is in fact true (done set only when finishing clears
+  // busy); accept proof or bounded-clean, reject counterexamples.
+  EXPECT_NE(result.status, mc::CheckStatus::falsified);
+}
+
+// ------------------------------------------------------------------ PCC
+
+TEST(Pcc, ExtendedPropertySuiteIsProvable) {
+  const auto n = app::build_wrapper_fsm();
+  const mc::ModelChecker checker{n};
+  for (const auto& prop : app::wrapper_properties_extended()) {
+    const auto result = checker.check(prop, {12, 4});
+    EXPECT_NE(result.status, mc::CheckStatus::falsified) << prop.name;
+  }
+}
+
+TEST(Pcc, ExtendedPropertySetCoversMostWrapperFaults) {
+  const auto n = app::build_wrapper_fsm();
+  pcc::PccOptions options;
+  options.bmc_bound = 8;
+  const auto report =
+      pcc::check_property_coverage(n, app::wrapper_properties_extended(), options);
+  EXPECT_GT(report.total_faults, 10u);
+  EXPECT_GT(report.coverage_percent(), 60.0);
+  EXPECT_EQ(report.detected, report.detected_by_simulation + report.detected_by_bmc);
+}
+
+TEST(Pcc, RicherPropertySetScoresHigher) {
+  // The PCC workflow of §3.4: prove, measure coverage, find it lacking,
+  // add properties, measure again — coverage must increase.
+  const auto n = app::build_wrapper_fsm();
+  pcc::PccOptions options;
+  options.bmc_bound = 6;
+  const auto weak_report =
+      pcc::check_property_coverage(n, app::wrapper_properties_initial(), options);
+  const auto strong_report =
+      pcc::check_property_coverage(n, app::wrapper_properties_extended(), options);
+  EXPECT_GE(strong_report.coverage_percent(), weak_report.coverage_percent());
+  EXPECT_GT(strong_report.detected, weak_report.detected);
+  EXPECT_FALSE(weak_report.undetected.empty());
+}
+
+TEST(Pcc, FaultSamplingCapRespected) {
+  const auto n = app::build_distance_rtl(6, 10);
+  std::vector<mc::Property> properties;
+  properties.push_back(mc::Property::invariant(
+      "overflow_implies_acc_msb_or_any",
+      mc::Expr::signal("overflow").implies(mc::Expr::constant(true))));
+  pcc::PccOptions options;
+  options.max_faults = 20;
+  options.bmc_bound = 4;
+  const auto report = pcc::check_property_coverage(n, properties, options);
+  EXPECT_EQ(report.total_faults, 20u);
+}

@@ -1,0 +1,440 @@
+// Tests for the media library: synthetic faces, pipeline kernels, database
+// and the C reference model (src/media).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+
+#include "media/database.hpp"
+#include "media/face_gen.hpp"
+#include "media/image.hpp"
+#include "media/kernels.hpp"
+#include "media/pipeline.hpp"
+#include "verif/coverage.hpp"
+#include "verif/fault.hpp"
+#include "verif/rng.hpp"
+
+namespace media = symbad::media;
+namespace verif = symbad::verif;
+using media::Image;
+
+// ----------------------------------------------------------------- Image
+
+TEST(Image, BasicAccessAndBounds) {
+  Image img{4, 3, 7};
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.at(0, 0), 7);
+  img.at(2, 1) = 99;
+  EXPECT_EQ(img.at(2, 1), 99);
+  EXPECT_THROW((void)img.at(4, 0), std::out_of_range);
+  EXPECT_THROW((void)img.at(0, 3), std::out_of_range);
+  EXPECT_THROW((Image{0, 5}), std::invalid_argument);
+}
+
+TEST(Image, ClampedBorderPolicy) {
+  Image img{2, 2};
+  img.at(0, 0) = 1;
+  img.at(1, 0) = 2;
+  img.at(0, 1) = 3;
+  img.at(1, 1) = 4;
+  EXPECT_EQ(img.clamped(-5, -5), 1);
+  EXPECT_EQ(img.clamped(7, 0), 2);
+  EXPECT_EQ(img.clamped(0, 9), 3);
+  EXPECT_EQ(img.clamped(9, 9), 4);
+}
+
+TEST(Image, ChecksumSensitivity) {
+  Image a{8, 8, 0};
+  Image b{8, 8, 0};
+  EXPECT_EQ(a.checksum(), b.checksum());
+  b.at(3, 3) = 1;
+  EXPECT_NE(a.checksum(), b.checksum());
+}
+
+// -------------------------------------------------------------- face gen
+
+TEST(FaceGen, DeterministicPerIdentity) {
+  const auto p1 = media::FaceParams::for_identity(3);
+  const auto p2 = media::FaceParams::for_identity(3);
+  EXPECT_EQ(p1.head_a, p2.head_a);
+  EXPECT_EQ(p1.mouth_w, p2.mouth_w);
+  const Image f1 = media::render_face(p1, media::Pose::frontal());
+  const Image f2 = media::render_face(p2, media::Pose::frontal());
+  EXPECT_EQ(f1.checksum(), f2.checksum());
+}
+
+TEST(FaceGen, IdentitiesDiffer) {
+  const Image a =
+      media::render_face(media::FaceParams::for_identity(0), media::Pose::frontal());
+  const Image b =
+      media::render_face(media::FaceParams::for_identity(1), media::Pose::frontal());
+  EXPECT_NE(a.checksum(), b.checksum());
+}
+
+TEST(FaceGen, PoseChangesImage) {
+  const auto params = media::FaceParams::for_identity(0);
+  media::Pose shifted;
+  shifted.dx = 4;
+  media::Pose rotated;
+  rotated.rot_deg = 10;
+  const Image frontal = media::render_face(params, media::Pose::frontal());
+  EXPECT_NE(frontal.checksum(), media::render_face(params, shifted).checksum());
+  EXPECT_NE(frontal.checksum(), media::render_face(params, rotated).checksum());
+}
+
+TEST(FaceGen, CameraAddsMosaicAndNoise) {
+  const auto params = media::FaceParams::for_identity(0);
+  const Image scene = media::render_face(params, media::Pose::frontal());
+  const Image raw = media::camera_capture(params, media::Pose::frontal());
+  EXPECT_NE(scene.checksum(), raw.checksum());
+  // Determinism of the noise via the pose seed.
+  EXPECT_EQ(raw.checksum(), media::camera_capture(params, media::Pose::frontal()).checksum());
+  media::Pose other = media::Pose::frontal();
+  other.noise_seed = 99;
+  EXPECT_NE(raw.checksum(), media::camera_capture(params, other).checksum());
+}
+
+// --------------------------------------------------------------- kernels
+
+TEST(Kernels, ErosionIsLowerEnvelope) {
+  verif::Rng rng{11};
+  Image img{16, 16};
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) img.px(x, y) = static_cast<std::uint16_t>(rng.below(256));
+  }
+  const Image out = media::erode3x3(img);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) EXPECT_LE(out.px(x, y), img.px(x, y));
+  }
+}
+
+TEST(Kernels, ErosionOfConstantIsConstant) {
+  const Image img{8, 8, 42};
+  const Image out = media::erode3x3(img);
+  for (const auto p : out.data()) EXPECT_EQ(p, 42);
+}
+
+TEST(Kernels, IsqrtExact) {
+  for (std::uint32_t v = 0; v < 70000; v += 7) {
+    const std::uint32_t r = media::isqrt32(v);
+    EXPECT_LE(static_cast<std::uint64_t>(r) * r, v);
+    EXPECT_GT(static_cast<std::uint64_t>(r + 1) * (r + 1), v);
+  }
+  EXPECT_EQ(media::isqrt32(0), 0);
+  EXPECT_EQ(media::isqrt32(1), 1);
+  EXPECT_EQ(media::isqrt32(65536), 256);
+}
+
+TEST(Kernels, RootTransformMonotone) {
+  Image img{4, 1};
+  img.px(0, 0) = 0;
+  img.px(1, 0) = 10;
+  img.px(2, 0) = 100;
+  img.px(3, 0) = 255;
+  const Image out = media::root_transform(img);
+  EXPECT_EQ(out.px(0, 0), 0);
+  EXPECT_LT(out.px(0, 0), out.px(1, 0));
+  EXPECT_LT(out.px(1, 0), out.px(2, 0));
+  EXPECT_LT(out.px(2, 0), out.px(3, 0));
+  // out = sqrt(v*256) = 16*sqrt(v): 255 -> ~255.5
+  EXPECT_EQ(out.px(3, 0), 255);
+}
+
+TEST(Kernels, SobelFlatImageHasNoEdges) {
+  const Image img{16, 16, 128};
+  const auto r = media::sobel_edge(img, 40);
+  for (const auto p : r.binary.data()) EXPECT_EQ(p, 0);
+  for (const auto p : r.magnitude.data()) EXPECT_EQ(p, 0);
+}
+
+TEST(Kernels, SobelDetectsStep) {
+  Image img{16, 16, 0};
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 8; x < 16; ++x) img.px(x, y) = 200;
+  }
+  const auto r = media::sobel_edge(img, 100);
+  int edges = 0;
+  for (const auto p : r.binary.data()) edges += p;
+  EXPECT_GT(edges, 10);
+}
+
+TEST(Kernels, EllipseFitFindsDrawnRing) {
+  Image binary{64, 64, 0};
+  const int cx = 30;
+  const int cy = 34;
+  for (int deg = 0; deg < 360; ++deg) {
+    const double rad = deg * 3.14159265 / 180.0;
+    const int x = cx + static_cast<int>(18 * std::cos(rad));
+    const int y = cy + static_cast<int>(12 * std::sin(rad));
+    binary.px(x, y) = 1;
+  }
+  const auto fit = media::fit_ellipse(binary);
+  ASSERT_TRUE(fit.found);
+  EXPECT_NEAR(fit.cx, cx, 2);
+  EXPECT_NEAR(fit.cy, cy, 2);
+  EXPECT_GT(fit.axis_a, fit.axis_b);  // wider than tall
+}
+
+TEST(Kernels, EllipseFitRejectsSparseImage) {
+  Image binary{32, 32, 0};
+  binary.px(5, 5) = 1;
+  const auto fit = media::fit_ellipse(binary);
+  EXPECT_FALSE(fit.found);
+}
+
+TEST(Kernels, CropBorderFallbackWithoutFit) {
+  Image src{64, 64};
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) src.px(x, y) = static_cast<std::uint16_t>(x + y);
+  }
+  media::EllipseFit none;
+  const Image win = media::crop_border(src, none, 16);
+  EXPECT_EQ(win.width(), 16);
+  EXPECT_EQ(win.height(), 16);
+  EXPECT_EQ(win.px(0, 0), src.px(0, 0));
+}
+
+TEST(Kernels, CropBorderCentersOnFit) {
+  Image src{64, 64, 0};
+  src.px(40, 20) = 777;
+  media::EllipseFit fit;
+  fit.found = true;
+  fit.cx = 40;
+  fit.cy = 20;
+  fit.axis_a = 8;
+  fit.axis_b = 8;
+  const Image win = media::crop_border(src, fit, 16);
+  // The bright pixel sits near the window centre.
+  bool found = false;
+  for (int y = 6; y <= 10 && !found; ++y) {
+    for (int x = 6; x <= 10 && !found; ++x) found = win.px(x, y) == 777;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Kernels, LineProfilesConserveMass) {
+  verif::Rng rng{5};
+  Image win{32, 32};
+  std::uint64_t total = 0;
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      win.px(x, y) = static_cast<std::uint16_t>(rng.below(256));
+      total += win.px(x, y);
+    }
+  }
+  const auto p = media::create_lines(win);
+  const auto sum = [](const std::vector<std::uint32_t>& v) {
+    return std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+  };
+  EXPECT_EQ(sum(p.rows), total);
+  EXPECT_EQ(sum(p.cols), total);
+  EXPECT_EQ(sum(p.diag_main), total);
+  EXPECT_EQ(sum(p.diag_anti), total);
+  EXPECT_EQ(p.total_elements(), 32u + 32u + 63u + 63u);
+}
+
+TEST(Kernels, FeaturesAreMeanFree) {
+  verif::Rng rng{9};
+  Image win{32, 32};
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) win.px(x, y) = static_cast<std::uint16_t>(rng.below(256));
+  }
+  const auto features = media::calc_line_features(media::create_lines(win));
+  ASSERT_FALSE(features.v.empty());
+  // Each segment is mean-removed: overall mean close to zero.
+  std::int64_t sum = 0;
+  for (const auto v : features.v) sum += v;
+  EXPECT_LT(std::abs(sum / static_cast<std::int64_t>(features.v.size())), 4);
+}
+
+TEST(Kernels, DistanceMetricProperties) {
+  verif::Rng rng{13};
+  media::FeatureVec a;
+  media::FeatureVec b;
+  for (int i = 0; i < 64; ++i) {
+    a.v.push_back(static_cast<std::int16_t>(rng.range(-100, 100)));
+    b.v.push_back(static_cast<std::int16_t>(rng.range(-100, 100)));
+  }
+  EXPECT_EQ(media::calc_distance(a, a), 0u);
+  EXPECT_EQ(media::calc_distance(a, b), media::calc_distance(b, a));
+  media::FeatureVec short_vec;
+  short_vec.v.resize(10);
+  EXPECT_THROW((void)media::calc_distance(a, short_vec), std::invalid_argument);
+}
+
+TEST(Kernels, WinnerPicksMinimum) {
+  const std::vector<std::uint32_t> d{50, 20, 90, 20, 100};
+  const auto w = media::pick_winner(d);
+  EXPECT_EQ(w.index, 1);
+  EXPECT_EQ(w.best, 20u);
+  EXPECT_EQ(w.second, 20u);
+  EXPECT_FALSE(w.confident);  // tie: not separated
+
+  const std::vector<std::uint32_t> d2{100, 20, 90};
+  const auto w2 = media::pick_winner(d2);
+  EXPECT_EQ(w2.index, 1);
+  EXPECT_TRUE(w2.confident);
+
+  const auto w3 = media::pick_winner({});
+  EXPECT_EQ(w3.index, -1);
+}
+
+// ------------------------------------------------------------- pipeline
+
+namespace {
+
+media::Pose query_pose(int identity, int variant) {
+  media::Pose pose;
+  pose.dx = (variant % 3) - 1;
+  pose.dy = ((variant + 1) % 3) - 1;
+  pose.rot_deg = (variant % 2 == 0) ? 3 : -3;
+  pose.light_offset = 5;
+  pose.noise_seed = 0xBEEF + static_cast<std::uint64_t>(identity * 7 + variant);
+  pose.noise_amp = 2;
+  return pose;
+}
+
+}  // namespace
+
+TEST(Pipeline, RecognisesUnseenPoses) {
+  const auto db = media::FaceDatabase::enroll(10, 5);
+  int correct = 0;
+  int total = 0;
+  for (int id = 0; id < 10; ++id) {
+    const auto params = media::FaceParams::for_identity(id);
+    for (int variant = 0; variant < 3; ++variant) {
+      const Image frame = media::camera_capture(params, query_pose(id, variant));
+      const auto result = media::recognize(frame, db);
+      ++total;
+      if (result.identity == id) ++correct;
+    }
+  }
+  // The paper's system distinguishes 20 identities; our synthetic pipeline
+  // must be comfortably above chance (10%) — demand 80%.
+  EXPECT_GE(correct * 100, total * 80) << correct << "/" << total;
+}
+
+TEST(Pipeline, DeterministicResults) {
+  const auto db = media::FaceDatabase::enroll(5, 3);
+  const auto params = media::FaceParams::for_identity(2);
+  const Image frame = media::camera_capture(params, query_pose(2, 0));
+  const auto r1 = media::recognize(frame, db);
+  const auto r2 = media::recognize(frame, db);
+  EXPECT_EQ(r1.identity, r2.identity);
+  EXPECT_EQ(r1.distances, r2.distances);
+  EXPECT_EQ(r1.traces.features, r2.traces.features);
+}
+
+TEST(Pipeline, ProfileRanksRootAndDistanceHeaviest) {
+  // The paper's configuration: 20 identities under multiple poses. With the
+  // full database, profiling must rank ROOT and DISTANCE as the two
+  // heaviest tasks — the designer knowledge that sends exactly those two
+  // modules into the FPGA at level 3.
+  const auto db = media::FaceDatabase::enroll(20, 5);
+  const auto params = media::FaceParams::for_identity(0);
+  const Image frame = media::camera_capture(params, media::Pose::frontal());
+  media::PipelineProfile profile;
+  (void)media::recognize(frame, db, {}, &profile);
+  const auto ranking = profile.ranking();
+  ASSERT_GE(ranking.size(), 2u);
+  EXPECT_EQ(ranking[0], media::stage::root);
+  EXPECT_EQ(ranking[1], media::stage::distance);
+}
+
+TEST(Pipeline, CoverageInstrumentationRecordsHits) {
+  verif::CoverageDb cov;
+  {
+    verif::CoverageDb::Scope scope{cov};
+    const auto db = media::FaceDatabase::enroll(3, 2);
+    const auto params = media::FaceParams::for_identity(0);
+    const Image frame = media::camera_capture(params, media::Pose::frontal());
+    (void)media::recognize(frame, db);
+  }
+  const auto report = cov.report();
+  EXPECT_GT(report.statement_total, 0);
+  EXPECT_GT(report.statement_covered, 0);
+  EXPECT_GT(report.branch_total, 0);
+  // A single nominal frame cannot cover everything (e.g. the no-face path).
+  EXPECT_LT(report.branch_covered, report.branch_total);
+  EXPECT_GT(report.overall_percent(), 30.0);
+}
+
+TEST(Pipeline, SeededMemoryBugLeaksAcrossFrames) {
+  const auto db = media::FaceDatabase::enroll(5, 3);
+  media::PipelineConfig good;
+  media::PipelineConfig buggy;
+  buggy.seeded_memory_bug = true;
+
+  const auto params0 = media::FaceParams::for_identity(0);
+  const auto params1 = media::FaceParams::for_identity(1);
+  const Image frame_a = media::camera_capture(params0, media::Pose::frontal());
+  const Image frame_b = media::camera_capture(params1, media::Pose::frontal());
+
+  media::FrontEndState state;
+  // First frame: no stale data yet -> identical to good pipeline.
+  const auto good_a = media::recognize(frame_a, db, good);
+  const auto bug_a = media::recognize(frame_a, db, buggy, nullptr, nullptr, &state);
+  EXPECT_EQ(good_a.traces.window, bug_a.traces.window);
+  // Second frame: window leaks one row from the previous frame.
+  const auto good_b = media::recognize(frame_b, db, good);
+  const auto bug_b = media::recognize(frame_b, db, buggy, nullptr, nullptr, &state);
+  EXPECT_NE(good_b.traces.window, bug_b.traces.window);
+}
+
+TEST(Pipeline, BitFaultChangesObservableOutput) {
+  const auto db = media::FaceDatabase::enroll(5, 3);
+  const auto params = media::FaceParams::for_identity(0);
+  const Image frame = media::camera_capture(params, media::Pose::frontal());
+  const auto golden = media::recognize(frame, db);
+
+  verif::BitFault fault;
+  fault.stage = media::stage::root;
+  fault.port = verif::PortDirection::output;
+  fault.word_index = 1000;
+  fault.bit = 7;
+  fault.stuck_to = true;
+  const auto faulty = media::recognize(frame, db, {}, nullptr, &fault);
+  EXPECT_NE(golden.traces.root, faulty.traces.root);
+}
+
+// -------------------------------------------------------------- database
+
+TEST(Database, EnrollmentShapeAndDeterminism) {
+  const auto db = media::FaceDatabase::enroll(4, 3);
+  EXPECT_EQ(db.size(), 12u);
+  EXPECT_EQ(db.identities(), 4);
+  EXPECT_EQ(db.poses_per_identity(), 3);
+  EXPECT_EQ(db.identity_of(0), 0);
+  EXPECT_EQ(db.identity_of(11), 3);
+  EXPECT_GT(db.storage_bytes(), 0u);
+
+  const auto db2 = media::FaceDatabase::enroll(4, 3);
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(db.entry(i).features, db2.entry(i).features);
+  }
+}
+
+TEST(Database, RejectsEmptyEnrollment) {
+  EXPECT_THROW((void)media::FaceDatabase::enroll(0, 3), std::invalid_argument);
+  EXPECT_THROW((void)media::FaceDatabase::enroll(3, 0), std::invalid_argument);
+}
+
+/// Parameterised sweep: enrollment poses must be distinguishable templates —
+/// nearest template of a re-rendered enrollment frame is itself.
+class DatabaseSelfMatch : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatabaseSelfMatch, EnrollmentFrameMatchesOwnIdentity) {
+  static const auto db = media::FaceDatabase::enroll(8, 3);
+  const int id = GetParam();
+  const auto params = media::FaceParams::for_identity(id);
+  const Image frame = media::camera_capture(params, media::enrollment_pose(id, 0));
+  const auto result = media::recognize(frame, db);
+  EXPECT_EQ(result.identity, id);
+  EXPECT_EQ(result.winner.best, 0u);  // exact template hit
+}
+
+INSTANTIATE_TEST_SUITE_P(Identities, DatabaseSelfMatch, ::testing::Range(0, 8));

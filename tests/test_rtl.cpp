@@ -1,0 +1,388 @@
+// Tests for the RTL netlist IR, word-level builders, simulator and CNF
+// encoding (src/rtl).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "rtl/cnf.hpp"
+#include "rtl/netlist.hpp"
+#include "rtl/wordops.hpp"
+#include "sat/solver.hpp"
+
+namespace rtl = symbad::rtl;
+namespace sat = symbad::sat;
+using rtl::Net;
+using rtl::Netlist;
+using rtl::Simulator;
+using rtl::Word;
+
+// ---------------------------------------------------------- construction
+
+TEST(Netlist, OperandMustExist) {
+  Netlist n;
+  const Net a = n.add_input("a");
+  EXPECT_THROW((void)n.add_and(a, 99), std::out_of_range);
+}
+
+TEST(Netlist, DuplicateInputNameRejected) {
+  Netlist n;
+  (void)n.add_input("a");
+  EXPECT_THROW((void)n.add_input("a"), std::invalid_argument);
+}
+
+TEST(Netlist, UnconnectedDffFailsValidation) {
+  Netlist n;
+  (void)n.add_dff(false, "r");
+  EXPECT_THROW(n.validate(), std::logic_error);
+}
+
+TEST(Netlist, DoubleConnectRejected) {
+  Netlist n;
+  const Net d = n.add_dff(false, "r");
+  const Net one = n.constant(true);
+  n.connect_next(d, one);
+  EXPECT_THROW(n.connect_next(d, one), std::logic_error);
+}
+
+TEST(Netlist, AreaEstimateCountsGates) {
+  Netlist n;
+  const Net a = n.add_input("a");
+  const Net b = n.add_input("b");
+  (void)n.add_and(a, b);
+  const Net d = n.add_dff(false, "r");
+  n.connect_next(d, a);
+  EXPECT_DOUBLE_EQ(n.area_estimate(), 1.0 + 4.0);
+  const auto hist = n.gate_histogram();
+  EXPECT_EQ(hist.at(rtl::GateKind::and_gate), 1u);
+  EXPECT_EQ(hist.at(rtl::GateKind::dff), 1u);
+}
+
+// ------------------------------------------------------------- simulator
+
+TEST(Simulator, BasicGates) {
+  Netlist n;
+  const Net a = n.add_input("a");
+  const Net b = n.add_input("b");
+  n.set_output("and", n.add_and(a, b));
+  n.set_output("or", n.add_or(a, b));
+  n.set_output("xor", n.add_xor(a, b));
+  n.set_output("not", n.add_not(a));
+
+  Simulator sim{n};
+  for (int va = 0; va <= 1; ++va) {
+    for (int vb = 0; vb <= 1; ++vb) {
+      sim.set_input("a", va != 0);
+      sim.set_input("b", vb != 0);
+      sim.eval();
+      EXPECT_EQ(sim.output("and"), (va & vb) != 0);
+      EXPECT_EQ(sim.output("or"), (va | vb) != 0);
+      EXPECT_EQ(sim.output("xor"), (va ^ vb) != 0);
+      EXPECT_EQ(sim.output("not"), va == 0);
+    }
+  }
+}
+
+TEST(Simulator, MuxSelects) {
+  Netlist n;
+  const Net s = n.add_input("s");
+  const Net t = n.add_input("t");
+  const Net e = n.add_input("e");
+  n.set_output("y", n.add_mux(s, t, e));
+  Simulator sim{n};
+  sim.set_input("s", true);
+  sim.set_input("t", true);
+  sim.set_input("e", false);
+  sim.eval();
+  EXPECT_TRUE(sim.output("y"));
+  sim.set_input("s", false);
+  sim.eval();
+  EXPECT_FALSE(sim.output("y"));
+}
+
+namespace {
+
+/// Builds an 8-bit free-running counter.
+Netlist make_counter(int width = 8) {
+  Netlist n{"counter"};
+  Word regs = rtl::make_registers(n, "cnt", width, 0);
+  const Word one = rtl::make_constant(n, 1, width);
+  const auto [next, carry] = rtl::add(n, regs, one);
+  (void)carry;
+  rtl::connect_registers(n, regs, next);
+  rtl::set_output_word(n, "cnt", regs);
+  return n;
+}
+
+std::uint64_t read_output_word(const Netlist& n, const Simulator& sim,
+                               const std::string& prefix, int width) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    if (sim.output(prefix + "[" + std::to_string(i) + "]")) v |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+}  // namespace
+
+TEST(Simulator, CounterCountsAndWraps) {
+  const Netlist n = make_counter(4);
+  Simulator sim{n};
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(read_output_word(n, sim, "cnt", 4), i % 16);
+    sim.step();
+  }
+  EXPECT_EQ(sim.cycles(), 40u);
+  sim.reset();
+  EXPECT_EQ(read_output_word(n, sim, "cnt", 4), 0u);
+}
+
+TEST(Simulator, DffInitValueRespected) {
+  Netlist n;
+  const Net d = n.add_dff(true, "r");
+  n.connect_next(d, d);  // holds value
+  n.set_output("q", d);
+  Simulator sim{n};
+  EXPECT_TRUE(sim.output("q"));
+  sim.step();
+  EXPECT_TRUE(sim.output("q"));
+}
+
+TEST(Simulator, StuckAtFaultOverridesValue) {
+  Netlist n;
+  const Net a = n.add_input("a");
+  const Net b = n.add_input("b");
+  const Net g = n.add_and(a, b);
+  n.set_output("y", g);
+  Simulator sim{n};
+  sim.set_input("a", true);
+  sim.set_input("b", true);
+  sim.eval();
+  EXPECT_TRUE(sim.output("y"));
+  sim.inject_stuck_at(g, false);
+  sim.eval();
+  EXPECT_FALSE(sim.output("y"));
+  EXPECT_TRUE(sim.has_faults());
+  sim.clear_faults();
+  sim.eval();
+  EXPECT_TRUE(sim.output("y"));
+}
+
+// ---------------------------------------------------- word-op properties
+
+class WordOpsRandom : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WordOpsRandom, ArithmeticMatchesReference) {
+  std::mt19937 rng{GetParam()};
+  constexpr int kWidth = 12;
+  const std::uint64_t mask = (1u << kWidth) - 1;
+
+  Netlist n;
+  const Word a = rtl::make_inputs(n, "a", kWidth);
+  const Word b = rtl::make_inputs(n, "b", kWidth);
+  const auto [sum, carry] = rtl::add(n, a, b);
+  const auto [diff, no_borrow] = rtl::sub(n, a, b);
+  const Net eq = rtl::equal(n, a, b);
+  const Net lt = rtl::unsigned_less(n, a, b);
+  const Net ge = rtl::unsigned_ge(n, a, b);
+  const Word ad = rtl::absolute_difference(n, a, b);
+  const Word shl = rtl::shift_left(n, a, 3);
+  const Word shr = rtl::shift_right(n, a, 2);
+  rtl::set_output_word(n, "sum", sum);
+  n.set_output("carry", carry);
+  rtl::set_output_word(n, "diff", diff);
+  n.set_output("no_borrow", no_borrow);
+  n.set_output("eq", eq);
+  n.set_output("lt", lt);
+  n.set_output("ge", ge);
+  rtl::set_output_word(n, "ad", ad);
+  rtl::set_output_word(n, "shl", shl);
+  rtl::set_output_word(n, "shr", shr);
+
+  Simulator sim{n};
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t va = rng() & mask;
+    const std::uint64_t vb = rng() & mask;
+    rtl::drive_word(sim, a, va);
+    rtl::drive_word(sim, b, vb);
+    sim.eval();
+    EXPECT_EQ(rtl::read_word(sim, sum), (va + vb) & mask);
+    EXPECT_EQ(sim.output("carry"), ((va + vb) >> kWidth) != 0);
+    EXPECT_EQ(rtl::read_word(sim, diff), (va - vb) & mask);
+    EXPECT_EQ(sim.output("no_borrow"), va >= vb);
+    EXPECT_EQ(sim.output("eq"), va == vb);
+    EXPECT_EQ(sim.output("lt"), va < vb);
+    EXPECT_EQ(sim.output("ge"), va >= vb);
+    EXPECT_EQ(rtl::read_word(sim, ad), va >= vb ? va - vb : vb - va);
+    EXPECT_EQ(rtl::read_word(sim, shl), (va << 3) & mask);
+    EXPECT_EQ(rtl::read_word(sim, shr), va >> 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WordOpsRandom, ::testing::Range(1u, 9u));
+
+TEST(WordOps, WidthMismatchThrows) {
+  Netlist n;
+  const Word a = rtl::make_inputs(n, "a", 4);
+  const Word b = rtl::make_inputs(n, "b", 5);
+  EXPECT_THROW((void)rtl::add(n, a, b), std::invalid_argument);
+}
+
+TEST(WordOps, EqualConstant) {
+  Netlist n;
+  const Word a = rtl::make_inputs(n, "a", 6);
+  n.set_output("is42", rtl::equal_constant(n, a, 42));
+  Simulator sim{n};
+  rtl::drive_word(sim, a, 42);
+  sim.eval();
+  EXPECT_TRUE(sim.output("is42"));
+  rtl::drive_word(sim, a, 41);
+  sim.eval();
+  EXPECT_FALSE(sim.output("is42"));
+}
+
+// -------------------------------------------------------------- CNF
+
+TEST(Cnf, CombinationalEquivalenceWithSimulator) {
+  // Random circuit evaluated both ways must agree on the output.
+  std::mt19937 rng{7};
+  Netlist n;
+  const Word a = rtl::make_inputs(n, "a", 8);
+  const Word b = rtl::make_inputs(n, "b", 8);
+  const auto [sum, carry] = rtl::add(n, a, b);
+  (void)carry;
+  const Net out = rtl::reduce_or(n, sum);
+  n.set_output("y", out);
+
+  Simulator sim{n};
+  sat::Solver solver;
+  rtl::CnfEncoder encoder{n, solver};
+  rtl::CnfEncoder::Options opts;
+  const rtl::Frame frame = encoder.encode(opts);
+
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::uint64_t va = rng() & 0xFF;
+    const std::uint64_t vb = rng() & 0xFF;
+    rtl::drive_word(sim, a, va);
+    rtl::drive_word(sim, b, vb);
+    sim.eval();
+    const bool expected = sim.output("y");
+
+    std::vector<sat::Lit> assumptions;
+    for (int i = 0; i < 8; ++i) {
+      auto la = frame.lit(a.bit(i));
+      auto lb = frame.lit(b.bit(i));
+      assumptions.push_back(((va >> i) & 1) != 0 ? la : ~la);
+      assumptions.push_back(((vb >> i) & 1) != 0 ? lb : ~lb);
+    }
+    assumptions.push_back(expected ? frame.lit(out) : ~frame.lit(out));
+    EXPECT_EQ(solver.solve(assumptions), sat::Result::sat);
+    assumptions.back() = ~assumptions.back();
+    EXPECT_EQ(solver.solve(assumptions), sat::Result::unsat);
+  }
+}
+
+TEST(Cnf, MiterOfIdenticalCircuitsIsUnsat) {
+  // Two copies of an adder with shared inputs can never differ.
+  Netlist n;
+  const Word a = rtl::make_inputs(n, "a", 6);
+  const Word b = rtl::make_inputs(n, "b", 6);
+  const auto [sum, carry] = rtl::add(n, a, b);
+  (void)carry;
+  rtl::set_output_word(n, "s", sum);
+
+  sat::Solver solver;
+  rtl::CnfEncoder encoder{n, solver};
+  rtl::CnfEncoder::Options opts1;
+  const rtl::Frame f1 = encoder.encode(opts1);
+
+  std::vector<sat::Lit> shared;
+  for (const Net in : n.inputs()) shared.push_back(f1.lit(in));
+  rtl::CnfEncoder::Options opts2;
+  opts2.shared_inputs = &shared;
+  const rtl::Frame f2 = encoder.encode(opts2);
+
+  // Build the difference clause from the output literals:
+  // diff_i <-> (o1_i XOR o2_i); assert OR(diff_i).
+  std::vector<sat::Lit> diff_clause;
+  for (int i = 0; i < sum.width(); ++i) {
+    const sat::Var d = solver.new_var();
+    const sat::Lit dl = sat::Lit::positive(d);
+    const sat::Lit x = f1.lit(sum.bit(i));
+    const sat::Lit y = f2.lit(sum.bit(i));
+    solver.add_ternary(~dl, x, y);
+    solver.add_ternary(~dl, ~x, ~y);
+    solver.add_ternary(dl, ~x, y);
+    solver.add_ternary(dl, x, ~y);
+    diff_clause.push_back(dl);
+  }
+  solver.add_clause(diff_clause);
+  EXPECT_EQ(solver.solve(), sat::Result::unsat);
+}
+
+TEST(Cnf, StuckAtFaultMakesMiterSat) {
+  // A faulty copy of the circuit must be distinguishable from the good one.
+  Netlist n;
+  const Word a = rtl::make_inputs(n, "a", 4);
+  const Word b = rtl::make_inputs(n, "b", 4);
+  const auto [sum, carry] = rtl::add(n, a, b);
+  (void)carry;
+  rtl::set_output_word(n, "s", sum);
+
+  sat::Solver solver;
+  rtl::CnfEncoder encoder{n, solver};
+  rtl::CnfEncoder::Options good_opts;
+  const rtl::Frame good = encoder.encode(good_opts);
+
+  std::vector<sat::Lit> shared;
+  for (const Net in : n.inputs()) shared.push_back(good.lit(in));
+  std::map<Net, bool> faults{{sum.bit(0), true}};  // stuck-at-1 on sum LSB
+  rtl::CnfEncoder::Options bad_opts;
+  bad_opts.shared_inputs = &shared;
+  bad_opts.faults = &faults;
+  const rtl::Frame bad = encoder.encode(bad_opts);
+
+  std::vector<sat::Lit> diff_clause;
+  for (int i = 0; i < sum.width(); ++i) {
+    const sat::Var d = solver.new_var();
+    const sat::Lit dl = sat::Lit::positive(d);
+    const sat::Lit x = good.lit(sum.bit(i));
+    const sat::Lit y = bad.lit(sum.bit(i));
+    solver.add_ternary(~dl, x, y);
+    solver.add_ternary(~dl, ~x, ~y);
+    solver.add_ternary(dl, ~x, y);
+    solver.add_ternary(dl, x, ~y);
+    diff_clause.push_back(dl);
+  }
+  solver.add_clause(diff_clause);
+  EXPECT_EQ(solver.solve(), sat::Result::sat);
+}
+
+TEST(Cnf, ChainedFramesModelSequentialBehaviour) {
+  // 4-bit counter: after 5 chained frames the counter equals 5 (and cannot
+  // equal anything else).
+  const Netlist n = make_counter(4);
+  sat::Solver solver;
+  rtl::CnfEncoder encoder{n, solver};
+
+  rtl::CnfEncoder::Options opts0;
+  opts0.state = rtl::StateInit::reset;
+  rtl::Frame frame = encoder.encode(opts0);
+  for (int k = 0; k < 5; ++k) {
+    rtl::CnfEncoder::Options opts;
+    opts.state = rtl::StateInit::chained;
+    opts.previous = &frame;
+    frame = encoder.encode(opts);
+  }
+  // State bits of final frame must equal 5 = 0b0101.
+  const auto& dffs = n.flip_flops();
+  std::vector<sat::Lit> assumptions;
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    const sat::Lit l = frame.lit(dffs[i]);
+    assumptions.push_back(((5u >> i) & 1) != 0 ? l : ~l);
+  }
+  EXPECT_EQ(solver.solve(assumptions), sat::Result::sat);
+  assumptions[0] = ~assumptions[0];
+  EXPECT_EQ(solver.solve(assumptions), sat::Result::unsat);
+}
