@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate for the Symbad repro: the tier-1 build+test loop, then an
+# AddressSanitizer configure/build/ctest pass. Any failure exits nonzero.
+#
+# Usage: scripts/ci.sh [jobs]   (jobs defaults to nproc)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "==> [1/2] tier-1: Release build + full ctest"
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "==> [2/2] AddressSanitizer build + full ctest"
+SYMBAD_SANITIZE=address cmake -B build-asan -S .
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "==> CI green"

@@ -36,7 +36,7 @@ public:
   /// Device-side latency added to the bus occupancy for this access.
   [[nodiscard]] virtual sim::Time access_latency(const Payload& payload) const = 0;
   /// Side effects (statistics, storage) after the access completes.
-  virtual void complete(const Payload& payload) {}
+  virtual void complete([[maybe_unused]] const Payload& payload) {}
   [[nodiscard]] virtual const std::string& target_name() const = 0;
 };
 

@@ -7,6 +7,7 @@
 #include "app/rtl_blocks.hpp"
 #include "atpg/atpg.hpp"
 #include "rtl/wordops.hpp"
+#include "support/test_util.hpp"
 
 namespace atpg = symbad::atpg;
 namespace rtl = symbad::rtl;
@@ -22,7 +23,7 @@ atpg::Laerte& engine() {
 }  // namespace
 
 TEST(Atpg, StimulusRoundTripsToPose) {
-  symbad::verif::Rng rng{3};
+  auto rng = symbad::test::rng(3);
   const auto s = atpg::Stimulus::random(rng, 4);
   const auto pose = s.to_pose();
   EXPECT_EQ(pose.dx, s.dx);

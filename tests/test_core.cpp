@@ -13,6 +13,7 @@
 #include "core/system_model.hpp"
 #include "core/task_graph.hpp"
 #include "media/database.hpp"
+#include "support/test_util.hpp"
 
 namespace core = symbad::core;
 namespace app = symbad::app;
@@ -104,10 +105,7 @@ struct CaseStudy {
   }
 };
 
-CaseStudy& case_study() {
-  static CaseStudy cs;
-  return cs;
-}
+CaseStudy& case_study() { return symbad::test::shared_fixture<CaseStudy>(); }
 
 }  // namespace
 
@@ -161,7 +159,7 @@ TEST(FaceSystem, Level2TraceMatchesLevel1) {
   core::SystemModel level2{cs.graph, part2, rt2, {}, core::ModelLevel::timed_platform};
   const auto rep2 = level2.run(3);
 
-  EXPECT_TRUE(symbad::sim::Trace::data_equal(rep1.trace, rep2.trace));
+  EXPECT_TRUE(symbad::test::traces_data_equal(rep1.trace, rep2.trace));
   EXPECT_GT(rep2.elapsed, symbad::sim::Time::zero());
   EXPECT_GT(rep2.frames_per_second, 0.0);
   EXPECT_GT(rep2.bus_load, 0.0);
@@ -180,7 +178,7 @@ TEST(FaceSystem, Level3TraceMatchesLevel2AndReconfigures) {
   core::SystemModel level3{cs.graph, part3, rt3, {}, core::ModelLevel::reconfigurable};
   const auto rep3 = level3.run(3);
 
-  EXPECT_TRUE(symbad::sim::Trace::data_equal(rep2.trace, rep3.trace));
+  EXPECT_TRUE(symbad::test::traces_data_equal(rep2.trace, rep3.trace));
   // ROOT and DISTANCE alternate contexts every frame: 2 reconfigs/frame.
   EXPECT_GE(rep3.reconfigurations, 2u * 3u - 1u);
   EXPECT_GT(rep3.reconfiguration_time, symbad::sim::Time::zero());
@@ -205,7 +203,7 @@ TEST(FaceSystem, MergedContextAvoidsReconfigurations) {
   EXPECT_EQ(rep_merged.reconfigurations, 1u);  // loaded once, never swapped
   EXPECT_GT(rep_split.reconfigurations, rep_merged.reconfigurations);
   EXPECT_GT(rep_merged.frames_per_second, rep_split.frames_per_second);
-  EXPECT_TRUE(symbad::sim::Trace::data_equal(rep_split.trace, rep_merged.trace));
+  EXPECT_TRUE(symbad::test::traces_data_equal(rep_split.trace, rep_merged.trace));
 }
 
 TEST(FaceSystem, HardwareAccelerationBeatsAllSoftware) {

@@ -13,6 +13,7 @@
 #include "media/database.hpp"
 #include "media/kernels.hpp"
 #include "rtl/wordops.hpp"
+#include "support/test_util.hpp"
 
 namespace core = symbad::core;
 namespace app = symbad::app;
@@ -34,10 +35,13 @@ struct FlowFixture {
   }
 };
 
+/// Enrolment + reference profiling is expensive; share one instance.
+FlowFixture& flow_fixture() { return symbad::test::shared_fixture<FlowFixture>(); }
+
 }  // namespace
 
 TEST(FlowDriver, RunsAllLevelsWithMatchingTraces) {
-  FlowFixture fx;
+  auto& fx = flow_fixture();
   app::FaceStageRuntime runtime{fx.db};
   core::FlowDriver::Config config;
   config.frames = 3;
@@ -57,7 +61,7 @@ TEST(FlowDriver, RunsAllLevelsWithMatchingTraces) {
 }
 
 TEST(FlowDriver, VerificationHooksRunAtTheirLevel) {
-  FlowFixture fx;
+  auto& fx = flow_fixture();
   app::FaceStageRuntime runtime{fx.db};
   core::FlowDriver flow{fx.graph, runtime, {{}, 2}};
   flow.set_level2_partition(app::paper_level2_partition(fx.graph));
@@ -81,7 +85,7 @@ TEST(FlowDriver, VerificationHooksRunAtTheirLevel) {
 }
 
 TEST(FlowDriver, Level3NeedsPartition) {
-  FlowFixture fx;
+  auto& fx = flow_fixture();
   app::FaceStageRuntime runtime{fx.db};
   core::FlowDriver flow{fx.graph, runtime, {{}, 2}};
   EXPECT_THROW((void)flow.run(3), std::logic_error);
@@ -90,7 +94,7 @@ TEST(FlowDriver, Level3NeedsPartition) {
 }
 
 TEST(FlowDriver, StopAtLevelOne) {
-  FlowFixture fx;
+  auto& fx = flow_fixture();
   app::FaceStageRuntime runtime{fx.db};
   core::FlowDriver flow{fx.graph, runtime, {{}, 2}};
   const auto report = flow.run(1);

@@ -3,10 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <random>
 #include <vector>
 
 #include "lp/simplex.hpp"
+#include "support/test_util.hpp"
 
 namespace lp = symbad::lp;
 using lp::Problem;
@@ -170,20 +170,17 @@ TEST(Simplex, InvertedBoundsThrow) {
 class SimplexRandomised : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(SimplexRandomised, PlantedFeasiblePointIsDominated) {
-  std::mt19937 rng{GetParam()};
-  std::uniform_real_distribution<double> coef{-5.0, 5.0};
-  std::uniform_int_distribution<int> var_count{2, 8};
-  std::uniform_int_distribution<int> con_count{2, 12};
+  auto rng = symbad::test::rng(GetParam());
+  const auto coef = [&rng] { return rng.uniform() * 10.0 - 5.0; };
 
-  const int n = var_count(rng);
-  const int m = con_count(rng);
+  const int n = static_cast<int>(rng.range(2, 8));
+  const int m = static_cast<int>(rng.range(2, 12));
 
   Problem p;
   std::vector<double> planted(static_cast<std::size_t>(n));
   for (int v = 0; v < n; ++v) {
     (void)p.add_variable();
-    planted[static_cast<std::size_t>(v)] =
-        std::uniform_real_distribution<double>{0.0, 4.0}(rng);
+    planted[static_cast<std::size_t>(v)] = rng.uniform() * 4.0;
   }
   std::vector<std::vector<double>> rows;
   std::vector<double> rhs;
@@ -192,12 +189,12 @@ TEST_P(SimplexRandomised, PlantedFeasiblePointIsDominated) {
     std::vector<double> coefs(static_cast<std::size_t>(n));
     double at_planted = 0.0;
     for (int v = 0; v < n; ++v) {
-      const double a = coef(rng);
+      const double a = coef();
       coefs[static_cast<std::size_t>(v)] = a;
       terms.push_back(Term{v, a});
       at_planted += a * planted[static_cast<std::size_t>(v)];
     }
-    const double slack = std::uniform_real_distribution<double>{0.0, 3.0}(rng);
+    const double slack = rng.uniform() * 3.0;
     p.add_constraint(terms, Relation::le, at_planted + slack);
     rows.push_back(std::move(coefs));
     rhs.push_back(at_planted + slack);
@@ -206,7 +203,7 @@ TEST_P(SimplexRandomised, PlantedFeasiblePointIsDominated) {
   std::vector<double> obj_coefs(static_cast<std::size_t>(n));
   double planted_objective = 0.0;
   for (int v = 0; v < n; ++v) {
-    const double a = coef(rng);
+    const double a = coef();
     obj_coefs[static_cast<std::size_t>(v)] = a;
     objective.push_back(Term{v, a});
     planted_objective += a * planted[static_cast<std::size_t>(v)];

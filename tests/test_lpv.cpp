@@ -7,6 +7,7 @@
 #include "lpv/lpv.hpp"
 #include "lpv/petri.hpp"
 #include "media/database.hpp"
+#include "support/test_util.hpp"
 
 namespace lpv = symbad::lpv;
 namespace core = symbad::core;
@@ -211,3 +212,33 @@ TEST(Lpv, FaceGraphDeadlineAtTargetFrameRate) {
   EXPECT_TRUE(result.met) << "min period " << result.min_period_s;
   EXPECT_GT(result.min_period_s, 0.0);
 }
+
+// ------------------------------------------------------ random chains
+
+/// Any linear task chain with bounded channels is deadlock-free, and every
+/// invariant the LP finds must actually verify against the incidence matrix.
+class LpvRandomChains : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LpvRandomChains, ChainsAreDeadlockFreeWithVerifiedInvariants) {
+  auto rng = symbad::test::rng(GetParam());
+  core::TaskGraph g;
+  const int n = static_cast<int>(rng.range(2, 6));
+  for (int i = 0; i < n; ++i) g.add_task("t" + std::to_string(i));
+  for (int i = 0; i + 1 < n; ++i) {
+    g.add_channel("t" + std::to_string(i), "t" + std::to_string(i + 1), 8,
+                  static_cast<int>(rng.range(1, 4)));
+  }
+  const auto net = lpv::petri_from_task_graph(g);
+  EXPECT_TRUE(lpv::check_deadlock_freeness(net).proved_free);
+  int covered = 0;
+  for (std::size_t p = 0; p < net.place_count(); ++p) {
+    const auto invariant = lpv::find_invariant_covering(net, static_cast<int>(p));
+    if (!invariant.has_value()) continue;
+    ++covered;
+    EXPECT_TRUE(lpv::verify_invariant(net, invariant->weights))
+        << "place " << p << " of " << n << "-task chain";
+  }
+  EXPECT_GT(covered, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpvRandomChains, ::testing::Range(1u, 9u));

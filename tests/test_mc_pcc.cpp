@@ -7,6 +7,7 @@
 #include "mc/mc.hpp"
 #include "pcc/pcc.hpp"
 #include "rtl/wordops.hpp"
+#include "support/test_util.hpp"
 
 namespace mc = symbad::mc;
 namespace pcc = symbad::pcc;
@@ -123,7 +124,14 @@ TEST(RootRtl, MatchesReferenceForSampledOperands) {
   rtl::Word op;
   for (int i = 0; i < 16; ++i) op.bits.push_back(n.input("op[" + std::to_string(i) + "]"));
 
-  for (std::uint32_t value : {0u, 1u, 2u, 9u, 100u, 255u, 256u, 1000u, 4095u, 65535u}) {
+  // Corner cases plus a deterministic random sample of the operand space.
+  std::vector<std::uint32_t> operands = {0u,   1u,   2u,    9u,    100u,
+                                         255u, 256u, 1000u, 4095u, 65535u};
+  auto rng = symbad::test::rng("root_rtl_operands");
+  for (int i = 0; i < 24; ++i) {
+    operands.push_back(static_cast<std::uint32_t>(rng.below(65536)));
+  }
+  for (std::uint32_t value : operands) {
     sim.set_input("start", true);
     rtl::drive_word(sim, op, value);
     sim.step();  // load

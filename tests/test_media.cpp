@@ -15,6 +15,7 @@
 #include "media/pipeline.hpp"
 #include "verif/coverage.hpp"
 #include "verif/fault.hpp"
+#include "support/test_util.hpp"
 #include "verif/rng.hpp"
 
 namespace media = symbad::media;
@@ -101,7 +102,7 @@ TEST(FaceGen, CameraAddsMosaicAndNoise) {
 // --------------------------------------------------------------- kernels
 
 TEST(Kernels, ErosionIsLowerEnvelope) {
-  verif::Rng rng{11};
+  auto rng = symbad::test::rng(11);
   Image img{16, 16};
   for (int y = 0; y < 16; ++y) {
     for (int x = 0; x < 16; ++x) img.px(x, y) = static_cast<std::uint16_t>(rng.below(256));
@@ -217,7 +218,7 @@ TEST(Kernels, CropBorderCentersOnFit) {
 }
 
 TEST(Kernels, LineProfilesConserveMass) {
-  verif::Rng rng{5};
+  auto rng = symbad::test::rng(5);
   Image win{32, 32};
   std::uint64_t total = 0;
   for (int y = 0; y < 32; ++y) {
@@ -238,7 +239,7 @@ TEST(Kernels, LineProfilesConserveMass) {
 }
 
 TEST(Kernels, FeaturesAreMeanFree) {
-  verif::Rng rng{9};
+  auto rng = symbad::test::rng(9);
   Image win{32, 32};
   for (int y = 0; y < 32; ++y) {
     for (int x = 0; x < 32; ++x) win.px(x, y) = static_cast<std::uint16_t>(rng.below(256));
@@ -252,7 +253,7 @@ TEST(Kernels, FeaturesAreMeanFree) {
 }
 
 TEST(Kernels, DistanceMetricProperties) {
-  verif::Rng rng{13};
+  auto rng = symbad::test::rng(13);
   media::FeatureVec a;
   media::FeatureVec b;
   for (int i = 0; i < 64; ++i) {

@@ -8,6 +8,7 @@
 #include "cpu/cpu.hpp"
 #include "fpga/fpga.hpp"
 #include "sim/kernel.hpp"
+#include "support/test_util.hpp"
 #include "tlm/bus.hpp"
 
 namespace sim = symbad::sim;
@@ -50,6 +51,26 @@ TEST(Bus, SingleTransferTiming) {
   EXPECT_EQ(p.bus.beats_transferred(), 16u);
   EXPECT_EQ(p.ram.accesses(), 1u);
   EXPECT_EQ(p.ram.read_beats(), 16u);
+}
+
+TEST(Bus, TransferTimingMatchesClosedFormForRandomBeats) {
+  // Property form of the timing model: for any burst length, a solo read
+  // costs (1 arb + beats + first_access + wait_states*beats) bus cycles.
+  auto rng = symbad::test::rng("bus_random_beats");
+  for (int trial = 0; trial < 16; ++trial) {
+    Platform p;
+    const auto beats = static_cast<std::uint32_t>(rng.range(1, 64));
+    const bool to_flash = rng.chance(0.5);
+    Time done;
+    p.kernel.spawn(run_one_transfer(
+        p, {tlm::Command::read, to_flash ? 0x4000'0000u : 0x0u, beats, "t"},
+        &done));
+    p.kernel.run();
+    const std::int64_t cycles =
+        1 + beats + (to_flash ? 4 + std::int64_t{beats} : 1);
+    EXPECT_EQ(done, Time::ns(20 * cycles))
+        << "beats=" << beats << (to_flash ? " flash" : " ram");
+  }
 }
 
 TEST(Bus, FlashIsSlowerThanRam) {

@@ -4,12 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
-#include <random>
 
 #include "rtl/cnf.hpp"
 #include "rtl/netlist.hpp"
 #include "rtl/wordops.hpp"
 #include "sat/solver.hpp"
+#include "support/test_util.hpp"
 
 namespace rtl = symbad::rtl;
 namespace sat = symbad::sat;
@@ -115,8 +115,8 @@ Netlist make_counter(int width = 8) {
   return n;
 }
 
-std::uint64_t read_output_word(const Netlist& n, const Simulator& sim,
-                               const std::string& prefix, int width) {
+std::uint64_t read_output_word(const Simulator& sim, const std::string& prefix,
+                               int width) {
   std::uint64_t v = 0;
   for (int i = 0; i < width; ++i) {
     if (sim.output(prefix + "[" + std::to_string(i) + "]")) v |= std::uint64_t{1} << i;
@@ -130,12 +130,12 @@ TEST(Simulator, CounterCountsAndWraps) {
   const Netlist n = make_counter(4);
   Simulator sim{n};
   for (std::uint64_t i = 0; i < 40; ++i) {
-    EXPECT_EQ(read_output_word(n, sim, "cnt", 4), i % 16);
+    EXPECT_EQ(read_output_word(sim, "cnt", 4), i % 16);
     sim.step();
   }
   EXPECT_EQ(sim.cycles(), 40u);
   sim.reset();
-  EXPECT_EQ(read_output_word(n, sim, "cnt", 4), 0u);
+  EXPECT_EQ(read_output_word(sim, "cnt", 4), 0u);
 }
 
 TEST(Simulator, DffInitValueRespected) {
@@ -174,7 +174,7 @@ TEST(Simulator, StuckAtFaultOverridesValue) {
 class WordOpsRandom : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(WordOpsRandom, ArithmeticMatchesReference) {
-  std::mt19937 rng{GetParam()};
+  auto rng = symbad::test::rng(GetParam());
   constexpr int kWidth = 12;
   const std::uint64_t mask = (1u << kWidth) - 1;
 
@@ -202,8 +202,8 @@ TEST_P(WordOpsRandom, ArithmeticMatchesReference) {
 
   Simulator sim{n};
   for (int trial = 0; trial < 50; ++trial) {
-    const std::uint64_t va = rng() & mask;
-    const std::uint64_t vb = rng() & mask;
+    const std::uint64_t va = rng.next() & mask;
+    const std::uint64_t vb = rng.next() & mask;
     rtl::drive_word(sim, a, va);
     rtl::drive_word(sim, b, vb);
     sim.eval();
@@ -246,7 +246,7 @@ TEST(WordOps, EqualConstant) {
 
 TEST(Cnf, CombinationalEquivalenceWithSimulator) {
   // Random circuit evaluated both ways must agree on the output.
-  std::mt19937 rng{7};
+  auto rng = symbad::test::rng(7);
   Netlist n;
   const Word a = rtl::make_inputs(n, "a", 8);
   const Word b = rtl::make_inputs(n, "b", 8);
@@ -262,8 +262,8 @@ TEST(Cnf, CombinationalEquivalenceWithSimulator) {
   const rtl::Frame frame = encoder.encode(opts);
 
   for (int trial = 0; trial < 30; ++trial) {
-    const std::uint64_t va = rng() & 0xFF;
-    const std::uint64_t vb = rng() & 0xFF;
+    const std::uint64_t va = rng.next() & 0xFF;
+    const std::uint64_t vb = rng.next() & 0xFF;
     rtl::drive_word(sim, a, va);
     rtl::drive_word(sim, b, vb);
     sim.eval();

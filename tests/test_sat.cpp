@@ -2,10 +2,10 @@
 
 #include <gtest/gtest.h>
 
-#include <random>
 #include <vector>
 
 #include "sat/solver.hpp"
+#include "support/test_util.hpp"
 
 namespace sat = symbad::sat;
 using sat::Lit;
@@ -170,7 +170,7 @@ TEST(Sat, UnknownVariableThrows) {
 class SatPlanted : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(SatPlanted, PlantedInstanceSolvedAndModelValid) {
-  std::mt19937 rng{GetParam()};
+  auto rng = symbad::test::rng(GetParam());
   const int n = 40;
   const int m = 160;
 
@@ -179,16 +179,15 @@ TEST_P(SatPlanted, PlantedInstanceSolvedAndModelValid) {
   std::vector<bool> planted;
   for (int i = 0; i < n; ++i) {
     vars.push_back(s.new_var());
-    planted.push_back((rng() & 1) != 0);
+    planted.push_back((rng.next() & 1) != 0);
   }
   std::vector<std::vector<Lit>> clauses;
-  std::uniform_int_distribution<int> pick{0, n - 1};
   for (int c = 0; c < m; ++c) {
     std::vector<Lit> clause;
     bool satisfied_by_planted = false;
     for (int k = 0; k < 3; ++k) {
-      const int v = pick(rng);
-      const bool neg = (rng() & 1) != 0;
+      const int v = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+      const bool neg = (rng.next() & 1) != 0;
       clause.push_back(Lit{vars[static_cast<std::size_t>(v)], neg});
       if (planted[static_cast<std::size_t>(v)] != neg) satisfied_by_planted = true;
     }
@@ -219,7 +218,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SatPlanted, ::testing::Range(1u, 33u));
 class SatRandomHard : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(SatRandomHard, ModelsAreAlwaysValid) {
-  std::mt19937 rng{GetParam() * 977u};
+  auto rng = symbad::test::rng(GetParam() * 977u);
   const int n = 30;
   const int m = 128;  // ratio ~4.26: phase transition
 
@@ -227,11 +226,11 @@ TEST_P(SatRandomHard, ModelsAreAlwaysValid) {
   std::vector<Var> vars;
   for (int i = 0; i < n; ++i) vars.push_back(s.new_var());
   std::vector<std::vector<Lit>> clauses;
-  std::uniform_int_distribution<int> pick{0, n - 1};
   for (int c = 0; c < m; ++c) {
     std::vector<Lit> clause;
     for (int k = 0; k < 3; ++k) {
-      clause.push_back(Lit{vars[static_cast<std::size_t>(pick(rng))], (rng() & 1) != 0});
+      clause.push_back(Lit{vars[rng.below(static_cast<std::uint64_t>(n))],
+                           (rng.next() & 1) != 0});
     }
     s.add_clause(clause);
     clauses.push_back(std::move(clause));

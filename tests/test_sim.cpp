@@ -10,6 +10,7 @@
 #include "sim/kernel.hpp"
 #include "sim/module.hpp"
 #include "sim/trace.hpp"
+#include "support/test_util.hpp"
 
 namespace sim = symbad::sim;
 using sim::Time;
@@ -380,6 +381,7 @@ TEST(Trace, DataEqualIgnoresTime) {
   b.record(Time::us(5), "out", 10);
   b.record(Time::us(9), "out", 20);
   EXPECT_TRUE(sim::Trace::data_equal(a, b));
+  EXPECT_TRUE(symbad::test::traces_data_equal(a, b));
   EXPECT_EQ(a.fingerprint(), b.fingerprint());
 }
 
@@ -389,7 +391,23 @@ TEST(Trace, DataMismatchDetected) {
   a.record(Time::ns(1), "out", 10);
   b.record(Time::ns(1), "out", 11);
   EXPECT_FALSE(sim::Trace::data_equal(a, b));
+  EXPECT_FALSE(symbad::test::traces_data_equal(a, b));
   EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Trace, ExtensionHelperAcceptsPrefixAndRejectsDivergence) {
+  sim::Trace shorter;
+  sim::Trace longer;
+  shorter.record(Time::ns(1), "out", 10);
+  longer.record(Time::ns(3), "out", 10);
+  longer.record(Time::ns(4), "out", 20);
+  EXPECT_TRUE(symbad::test::trace_extends(shorter, longer));
+  EXPECT_FALSE(symbad::test::trace_extends(longer, shorter));  // shrank
+
+  sim::Trace diverged;
+  diverged.record(Time::ns(1), "out", 11);
+  diverged.record(Time::ns(2), "out", 20);
+  EXPECT_FALSE(symbad::test::trace_extends(shorter, diverged));
 }
 
 TEST(Trace, ChannelSeparation) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "app/sw_source.hpp"
+#include "support/test_util.hpp"
 #include "symbc/checker.hpp"
 #include "symbc/lexer.hpp"
 #include "symbc/parser.hpp"
@@ -39,6 +40,38 @@ TEST(SymbcLexer, TracksLineNumbers) {
   EXPECT_EQ(tokens[0].line, 1);
   EXPECT_EQ(tokens[1].line, 2);
   EXPECT_EQ(tokens[2].line, 4);
+}
+
+TEST(SymbcLexer, RandomTokenStreamsRoundTrip) {
+  // Lexer fuzz: any separator-delimited stream of identifiers, numbers and
+  // punctuation must come back token-for-token, whatever whitespace or
+  // comments sit between them.
+  auto rng = symbad::test::rng("symbc_lexer_fuzz");
+  const char* idents[] = {"x", "foo", "fpga_load", "_tmp9", "if0"};
+  const char* puncts[] = {"(", ")", "{", "}", ";", ",", "=", "+", "<"};
+  const char* seps[] = {" ", "\n", "\t", "/* c */ "};
+  for (int trial = 0; trial < 32; ++trial) {
+    std::vector<std::string> expected;
+    std::string source;
+    const int len = static_cast<int>(rng.range(1, 40));
+    for (int i = 0; i < len; ++i) {
+      std::string text;
+      switch (rng.below(3)) {
+        case 0: text = idents[rng.below(5)]; break;
+        case 1: text = std::to_string(rng.below(100000)); break;
+        default: text = puncts[rng.below(9)]; break;
+      }
+      source += text;
+      source += seps[rng.below(4)];
+      expected.push_back(std::move(text));
+    }
+    const auto tokens = symbc::tokenize(source);
+    ASSERT_EQ(tokens.size(), expected.size() + 1) << source;  // + end marker
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(tokens[i].text, expected[i]) << source;
+    }
+    EXPECT_EQ(tokens.back().kind, symbc::TokenKind::end);
+  }
 }
 
 // ---------------------------------------------------------------- parser
