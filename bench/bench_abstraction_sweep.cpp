@@ -44,7 +44,7 @@ void BM_Abstraction_L2_TimedTl(benchmark::State& state) {
   }
   state.counters["frames_per_wall_s"] =
       benchmark::Counter(4, benchmark::Counter::kIsIterationInvariantRate);
-  state.counters["sim_speed_kHz"] = last.sim_cycles_per_wall_second / 1e3;
+  state.counters["sim_speed_kHz"] = last.host.sim_cycles_per_wall_second / 1e3;
 }
 BENCHMARK(BM_Abstraction_L2_TimedTl)->Unit(benchmark::kMillisecond);
 
@@ -60,7 +60,7 @@ void BM_Abstraction_L3_Reconfigurable(benchmark::State& state) {
   }
   state.counters["frames_per_wall_s"] =
       benchmark::Counter(4, benchmark::Counter::kIsIterationInvariantRate);
-  state.counters["sim_speed_kHz"] = last.sim_cycles_per_wall_second / 1e3;
+  state.counters["sim_speed_kHz"] = last.host.sim_cycles_per_wall_second / 1e3;
 }
 BENCHMARK(BM_Abstraction_L3_Reconfigurable)->Unit(benchmark::kMillisecond);
 

@@ -1,0 +1,71 @@
+// E-CAMPAIGN — scenario-campaign throughput: scenarios per second executing
+// a level-2 face-recognition workload through exec::CampaignRunner at 1, 2,
+// 4 and 8 workers. The per-scenario work is identical across worker counts
+// (each worker owns its StageRuntime and sim::Kernel), so the scaling curve
+// isolates the batch-execution layer itself.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.hpp"
+#include "exec/campaign.hpp"
+
+namespace {
+
+using namespace symbad;
+
+std::vector<exec::Scenario> level2_workload(int scenario_count, int frames) {
+  auto& cs = benchfix::case_study();
+  std::vector<exec::Scenario> scenarios;
+  scenarios.reserve(static_cast<std::size_t>(scenario_count));
+  for (int i = 0; i < scenario_count; ++i) {
+    exec::Scenario s;
+    s.name = "level2#" + std::to_string(i);
+    s.graph = cs.graph;
+    // Alternate the paper partition with the all-software baseline so the
+    // batch is not perfectly homogeneous (realistic campaign shape).
+    s.partition = (i % 2 == 0) ? app::paper_level2_partition(cs.graph)
+                               : core::Partition::all_software(cs.graph);
+    s.level = core::ModelLevel::timed_platform;
+    s.frames = frames;
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+void BM_Campaign_Level2Workload(benchmark::State& state) {
+  auto& cs = benchfix::case_study();
+  const int workers = static_cast<int>(state.range(0));
+  const auto scenarios = level2_workload(/*scenario_count=*/16, /*frames=*/4);
+
+  exec::CampaignRunner::Options options;
+  options.workers = workers;
+  exec::CampaignRunner runner{[&cs](const exec::Scenario&) {
+                                return std::make_unique<app::FaceStageRuntime>(cs.db);
+                              },
+                              options};
+
+  double scenarios_per_second = 0.0;
+  for (auto _ : state) {
+    const auto report = runner.run(scenarios);
+    if (report.failures() != 0) state.SkipWithError("scenario failed");
+    scenarios_per_second = report.scenarios_per_second;
+    benchmark::DoNotOptimize(report.results.data());
+  }
+  state.counters["scenarios_per_s"] = scenarios_per_second;
+  state.counters["workers"] = static_cast<double>(workers);
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_Campaign_Level2Workload)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

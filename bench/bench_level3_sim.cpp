@@ -23,7 +23,7 @@ void BM_Level3_ReconfigurableSimulation(benchmark::State& state) {
     last = level3.run(frames);
     benchmark::DoNotOptimize(last.reconfigurations);
   }
-  state.counters["sim_speed_kHz"] = last.sim_cycles_per_wall_second / 1e3;
+  state.counters["sim_speed_kHz"] = last.host.sim_cycles_per_wall_second / 1e3;
   state.counters["frames_per_sim_s"] = last.frames_per_second;
   state.counters["bus_load_pct"] = last.bus_load * 100.0;
   state.counters["reconfigs"] = static_cast<double>(last.reconfigurations);
@@ -43,7 +43,7 @@ void BM_Level3_Level2Comparison(benchmark::State& state) {
     last = level2.run(4);
     benchmark::DoNotOptimize(last.bus_beats);
   }
-  state.counters["sim_speed_kHz"] = last.sim_cycles_per_wall_second / 1e3;
+  state.counters["sim_speed_kHz"] = last.host.sim_cycles_per_wall_second / 1e3;
   state.counters["bus_load_pct"] = last.bus_load * 100.0;
 }
 BENCHMARK(BM_Level3_Level2Comparison)->Unit(benchmark::kMillisecond);

@@ -1,19 +1,24 @@
 // Architecture exploration (flow steps II-III-IV): enumerate HW/SW/FPGA
 // partitions of the face recognition system, grade each on performance /
-// silicon / power, print the Pareto front, and confirm the selected design
-// point by simulation.
+// silicon / power, print the Pareto front — then *confirm by simulation*:
+// the analytic short-list is re-graded by actually running the candidates
+// as a scenario campaign across a worker pool (exec::CampaignRunner).
 //
 //   $ ./examples/architecture_explorer
+//   $ SYMBAD_CAMPAIGN_WORKERS=8 ./examples/architecture_explorer
 
 #include <cstdio>
+#include <memory>
 
 #include "app/face_system.hpp"
 #include "core/explorer.hpp"
 #include "core/system_model.hpp"
+#include "exec/campaign.hpp"
 #include "media/database.hpp"
 
 namespace app = symbad::app;
 namespace core = symbad::core;
+namespace exec = symbad::exec;
 namespace media = symbad::media;
 
 int main() {
@@ -27,12 +32,13 @@ int main() {
   options.pinned_software = {"CAMERA", "DATABASE", "WINNER"};
   options.max_hw_tasks = 3;
   options.fpga_contexts = 2;
-  core::Explorer explorer{graph, core::AnalyticModel{core::PlatformParams{}}, options};
+  const core::PlatformParams platform{};
+  core::Explorer explorer{graph, core::AnalyticModel{platform}, options};
 
-  const auto points = explorer.explore();
-  std::printf("evaluated %zu design points\n\n", points.size());
+  auto points = explorer.explore();
+  std::printf("evaluated %zu design points (analytic)\n\n", points.size());
 
-  std::printf("top 5 by merit (fps / (area x power)):\n");
+  std::printf("top 5 by analytic merit (fps / (area x power)):\n");
   std::printf("  %-44s %10s %8s %8s\n", "partition", "frames/s", "area", "mW");
   for (std::size_t i = 0; i < points.size() && i < 5; ++i) {
     const auto& p = points[i];
@@ -47,7 +53,31 @@ int main() {
                 p.grade.frames_per_second, p.grade.area_units, p.grade.power_mw);
   }
 
-  // Pick the best point under an area budget and confirm by simulation.
+  // Simulation-backed grading: run the analytic top-K through executable
+  // models as one campaign (each worker simulates scenarios independently).
+  exec::CampaignRunner runner{[&db](const exec::Scenario&) {
+    return std::make_unique<app::FaceStageRuntime>(db);
+  }};
+  constexpr std::size_t kTopK = 6;
+  points = core::Explorer::grade_by_simulation(
+      std::move(points), kTopK,
+      exec::simulation_scorer(runner, graph, platform, /*frames=*/4));
+
+  std::printf("\ntop 5 after simulation grading of the top %zu candidates:\n", kTopK);
+  std::printf("  %-44s %10s %10s\n", "partition", "sim fps", "analytic");
+  for (std::size_t i = 0; i < points.size() && i < 5; ++i) {
+    const auto& p = points[i];
+    if (p.simulation_graded) {
+      std::printf("  %-44s %10.2f %10.2f\n", p.label.c_str(),
+                  p.grade.frames_per_second, p.analytic_fps);
+    } else {
+      std::printf("  %-44s %10s %10.2f\n", p.label.c_str(), "(analytic)",
+                  p.grade.frames_per_second);
+    }
+  }
+
+  // Pick the best point under an area budget; its grade is now the
+  // simulated throughput if it was short-listed.
   const auto* chosen = core::Explorer::best_under(points, /*min_fps=*/5.0,
                                                   /*max_area=*/2600.0,
                                                   /*max_power_mw=*/0.0);
@@ -57,18 +87,27 @@ int main() {
   }
   std::printf("\nselected under constraints (fps>=5, area<=2600): %s\n",
               chosen->label.c_str());
-  std::printf("  analytic grade: %.2f frames/s, area %.0f, %.1f mW\n",
-              chosen->grade.frames_per_second, chosen->grade.area_units,
-              chosen->grade.power_mw);
+  std::printf("  grade: %.2f frames/s (%s), area %.0f, %.1f mW\n",
+              chosen->grade.frames_per_second,
+              chosen->simulation_graded ? "simulated" : "analytic",
+              chosen->grade.area_units, chosen->grade.power_mw);
 
-  app::FaceStageRuntime runtime{db};
-  const bool reconf = !chosen->partition.contexts().empty();
-  core::SystemModel model{graph, chosen->partition, runtime, {},
-                          reconf ? core::ModelLevel::reconfigurable
-                                 : core::ModelLevel::timed_platform};
-  const auto report = model.run(4);
-  std::printf("  simulated:      %.2f frames/s, bus load %.1f%%, CPU util %.1f%%\n",
-              report.frames_per_second, report.bus_load * 100.0,
-              report.cpu_utilisation * 100.0);
-  return 0;
+  // Final confirmation campaign: the chosen partition through levels 1-3
+  // with adjacent-level trace verdicts.
+  const auto scenarios = exec::cross_level_scenarios(
+      "chosen", graph, chosen->partition, platform, /*frames=*/4,
+      chosen->partition.contexts().empty()
+          ? std::vector<core::ModelLevel>{core::ModelLevel::untimed_functional,
+                                          core::ModelLevel::timed_platform}
+          : std::vector<core::ModelLevel>{core::ModelLevel::untimed_functional,
+                                          core::ModelLevel::timed_platform,
+                                          core::ModelLevel::reconfigurable});
+  const auto campaign = runner.run(scenarios);
+  std::printf("\nconfirmation campaign: %s\n", campaign.to_string().c_str());
+  for (const auto& v : campaign.agreements) {
+    std::printf("  L%d vs L%d: %s%s%s\n", v.lower_level, v.higher_level,
+                v.agree ? "traces MATCH" : "traces DIVERGE",
+                v.detail.empty() ? "" : " — ", v.detail.c_str());
+  }
+  return campaign.clean() ? 0 : 1;
 }

@@ -37,7 +37,7 @@ int main() {
                            core::ModelLevel::untimed_functional};
   const auto rep1 = level1.run(6);
   std::printf("functional simulation: 6 frames in %.1f ms wall (%llu callbacks)\n",
-              rep1.wall_seconds * 1e3,
+              rep1.host.wall_seconds * 1e3,
               static_cast<unsigned long long>(rep1.kernel_callbacks));
 
   // ATPG-based functional verification (Laerte++).
@@ -75,7 +75,7 @@ int main() {
   std::printf("timed simulation: %.1f frames/s (simulated), bus load %.1f%%, "
               "CPU util %.1f%%, sim speed %.0f kHz\n",
               rep2.frames_per_second, rep2.bus_load * 100.0,
-              rep2.cpu_utilisation * 100.0, rep2.sim_cycles_per_wall_second / 1e3);
+              rep2.cpu_utilisation * 100.0, rep2.host.sim_cycles_per_wall_second / 1e3);
   std::printf("trace vs level 1: %s\n",
               symbad::sim::Trace::data_equal(rep1.trace, rep2.trace) ? "MATCH" : "MISMATCH");
 
@@ -103,7 +103,7 @@ int main() {
               rep3.frames_per_second,
               static_cast<unsigned long long>(rep3.reconfigurations),
               rep3.reconfiguration_time.to_ms(),
-              rep3.sim_cycles_per_wall_second / 1e3);
+              rep3.host.sim_cycles_per_wall_second / 1e3);
   std::printf("trace vs level 2: %s; runtime consistency violations: %zu\n",
               symbad::sim::Trace::data_equal(rep2.trace, rep3.trace) ? "MATCH" : "MISMATCH",
               rep3.consistency_violations);

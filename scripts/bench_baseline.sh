@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Records a benchmark baseline: runs every bench binary with
+# --benchmark_format=json into bench/baseline/<name>.json, then folds the
+# per-binary results into one BENCH_BASELINE.json at the repo root (the
+# committed reference scripts/bench_compare.py gates against).
+#
+# Usage: scripts/bench_baseline.sh [build-dir]
+#
+# Environment:
+#   BENCH_MIN_TIME    per-benchmark min time passed to Google Benchmark
+#                     (default 0.05 seconds — the goal is a stable median, not a
+#                     publication-grade measurement)
+#   BENCH_FILTER      optional --benchmark_filter regex
+#   BENCH_ONLY        space-separated subset of bench binary names to run
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+MIN_TIME="${BENCH_MIN_TIME:-0.05}"
+OUT_DIR="bench/baseline"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  echo "error: build dir '$BUILD_DIR' not found (run cmake first)" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+
+benches=()
+for bin in "$BUILD_DIR"/bench_*; do
+  [[ -x "$bin" && ! -d "$bin" ]] || continue
+  name="$(basename "$bin")"
+  if [[ -n "${BENCH_ONLY:-}" ]]; then
+    case " $BENCH_ONLY " in
+      *" $name "*) ;;
+      *) continue ;;
+    esac
+  fi
+  benches+=("$bin")
+done
+
+if [[ ${#benches[@]} -eq 0 ]]; then
+  echo "error: no bench_* binaries in '$BUILD_DIR'" >&2
+  exit 1
+fi
+
+for bin in "${benches[@]}"; do
+  name="$(basename "$bin")"
+  echo "==> $name"
+  args=(--benchmark_format=json --benchmark_min_time="$MIN_TIME")
+  [[ -n "${BENCH_FILTER:-}" ]] && args+=(--benchmark_filter="$BENCH_FILTER")
+  "$bin" "${args[@]}" > "$OUT_DIR/$name.json"
+done
+
+python3 - "$OUT_DIR" BENCH_BASELINE.json << 'PY'
+import json, pathlib, sys
+out = {}
+base = pathlib.Path(sys.argv[1])
+for path in sorted(base.glob("bench_*.json")):
+    data = json.loads(path.read_text())
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        out[f"{path.stem}/{b['name']}"] = {
+            "real_time": b["real_time"],
+            "cpu_time": b["cpu_time"],
+            "time_unit": b["time_unit"],
+        }
+ctx = {"note": "recorded by scripts/bench_baseline.sh; compare with "
+               "scripts/bench_compare.py (>20% real_time regression flags)"}
+pathlib.Path(sys.argv[2]).write_text(
+    json.dumps({"context": ctx, "benchmarks": out}, indent=2) + "\n")
+print(f"wrote {sys.argv[2]} with {len(out)} benchmark entries")
+PY

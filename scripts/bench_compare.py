@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Compare a freshly recorded benchmark baseline against the committed one.
+
+Usage:
+    scripts/bench_compare.py [--baseline BENCH_BASELINE.json]
+                             [--candidate BENCH_BASELINE.json]
+                             [--threshold 0.20]
+
+Typical flow:
+    scripts/bench_baseline.sh          # refresh bench/baseline + candidate
+    git stash -- BENCH_BASELINE.json   # keep the committed reference aside
+    scripts/bench_compare.py --candidate BENCH_BASELINE.json \
+                             --baseline /tmp/committed.json
+
+Exits 1 when any benchmark's real_time regressed by more than the threshold
+(default 20%). Missing/new benchmarks are reported but are not failures —
+renames and added workloads should not break CI.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path) as fh:
+        data = json.load(fh)
+    return data.get("benchmarks", {})
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="BENCH_BASELINE.json",
+                        help="committed reference (default: BENCH_BASELINE.json)")
+    parser.add_argument("--candidate", required=True,
+                        help="freshly recorded baseline JSON to check")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional real_time regression (0.20 = 20%%)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+
+    regressions = []
+    improvements = []
+    for name, ref in sorted(baseline.items()):
+        cand = candidate.get(name)
+        if cand is None:
+            print(f"  [gone]     {name}")
+            continue
+        ref_t, cand_t = ref["real_time"], cand["real_time"]
+        if ref_t <= 0:
+            continue
+        delta = (cand_t - ref_t) / ref_t
+        if delta > args.threshold:
+            regressions.append((name, delta))
+            print(f"  [REGRESS]  {name}: {ref_t:.3f} -> {cand_t:.3f} "
+                  f"{ref['time_unit']} (+{delta * 100:.1f}%)")
+        elif delta < -args.threshold:
+            improvements.append((name, delta))
+            print(f"  [faster]   {name}: {ref_t:.3f} -> {cand_t:.3f} "
+                  f"{ref['time_unit']} ({delta * 100:.1f}%)")
+    for name in sorted(set(candidate) - set(baseline)):
+        print(f"  [new]      {name}")
+
+    print(f"\n{len(baseline)} baseline entries, {len(regressions)} regression(s) "
+          f"beyond {args.threshold * 100:.0f}%, {len(improvements)} improvement(s)")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# CI gate for the Symbad repro: the tier-1 build+test loop, then an
-# AddressSanitizer configure/build/ctest pass. Any failure exits nonzero.
+# CI gate for the Symbad repro: the tier-1 build+test loop, a parallel-safety
+# pass over the unit label, then an AddressSanitizer configure/build/ctest
+# pass with the threaded campaign runner explicitly exercised at 4 workers.
+# Any failure exits nonzero.
 #
 # Usage: scripts/ci.sh [jobs]   (jobs defaults to nproc)
 
@@ -9,14 +11,21 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "==> [1/2] tier-1: Release build + full ctest"
+echo "==> [1/4] tier-1: Release build + full ctest"
 cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "==> [2/2] AddressSanitizer build + full ctest"
+echo "==> [2/4] parallel-safety: ctest -L unit -j (suites must tolerate"
+echo "    concurrent siblings — shared fixtures, tmp dirs, env)"
+ctest --test-dir build --output-on-failure -L unit -j "$((JOBS * 2))"
+
+echo "==> [3/4] AddressSanitizer build + full ctest"
 SYMBAD_SANITIZE=address cmake -B build-asan -S .
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "==> [4/4] threaded campaign runner under ASan (4 workers)"
+SYMBAD_CAMPAIGN_WORKERS=4 ./build-asan/test_exec
 
 echo "==> CI green"

@@ -1,6 +1,7 @@
 #include "core/explorer.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace symbad::core {
 
@@ -79,6 +80,36 @@ std::vector<DesignPoint> Explorer::explore() const {
   std::sort(points.begin(), points.end(), [](const DesignPoint& a, const DesignPoint& b) {
     return a.grade.merit() > b.grade.merit();
   });
+  return points;
+}
+
+std::vector<DesignPoint> Explorer::grade_by_simulation(std::vector<DesignPoint> points,
+                                                       std::size_t top_k,
+                                                       const SimulationScorer& scorer) {
+  if (!scorer) throw std::invalid_argument{"grade_by_simulation: empty scorer"};
+  const std::size_t k = std::min(top_k, points.size());
+  if (k == 0) return points;
+
+  const std::vector<DesignPoint> head(points.begin(),
+                                      points.begin() + static_cast<std::ptrdiff_t>(k));
+  const auto reports = scorer(head);
+  if (reports.size() != k) {
+    throw std::runtime_error{"grade_by_simulation: scorer returned " +
+                             std::to_string(reports.size()) + " reports for " +
+                             std::to_string(k) + " points"};
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    points[i].analytic_fps = points[i].grade.frames_per_second;
+    points[i].grade.frames_per_second = reports[i].frames_per_second;
+    points[i].simulation_graded = true;
+  }
+  // Re-rank the short-list among itself: simulated merits are measured on a
+  // common footing, but comparing them against the tail's (optimistic)
+  // analytic merits would unfairly demote every graded point.
+  std::stable_sort(points.begin(), points.begin() + static_cast<std::ptrdiff_t>(k),
+                   [](const DesignPoint& a, const DesignPoint& b) {
+                     return a.grade.merit() > b.grade.merit();
+                   });
   return points;
 }
 

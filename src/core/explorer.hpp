@@ -20,7 +20,18 @@ struct DesignPoint {
   Grade grade;
   std::string label;
   std::uint64_t reconfigs_per_frame = 0;
+  /// The closed-form throughput estimate, preserved when simulation grading
+  /// overwrites `grade.frames_per_second` with the measured value.
+  double analytic_fps = 0.0;
+  bool simulation_graded = false;
 };
+
+/// Simulates a batch of candidate design points and returns one
+/// PerformanceReport per point, in order. Implementations live above core
+/// (exec::simulation_scorer wires this to a CampaignRunner), keeping the
+/// explorer free of a dependency on the execution engine.
+using SimulationScorer =
+    std::function<std::vector<PerformanceReport>(const std::vector<DesignPoint>&)>;
 
 class Explorer {
 public:
@@ -42,6 +53,17 @@ public:
   /// Enumerates and grades candidates; returns all evaluated points sorted
   /// by descending merit.
   [[nodiscard]] std::vector<DesignPoint> explore() const;
+
+  /// Simulation-backed grading: re-scores the top `top_k` points (by the
+  /// current analytic ranking) with throughput measured by `scorer` —
+  /// actually running the candidates through executable models instead of
+  /// the closed-form AnalyticModel — then re-ranks the short-list among
+  /// itself by the measured merit (the tail keeps its analytic order;
+  /// measured and analytic merits are not comparable head-to-head).
+  /// Analytic estimates are preserved in DesignPoint::analytic_fps.
+  [[nodiscard]] static std::vector<DesignPoint> grade_by_simulation(
+      std::vector<DesignPoint> points, std::size_t top_k,
+      const SimulationScorer& scorer);
 
   /// Subset of `points` not dominated on (fps, -area, -power).
   [[nodiscard]] static std::vector<DesignPoint> pareto_front(

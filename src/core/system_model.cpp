@@ -251,7 +251,7 @@ PerformanceReport SystemModel::run(int frames) {
   report.elapsed = instance.kernel.now();
   report.kernel_callbacks = instance.kernel.callbacks_executed();
   report.delta_cycles = instance.kernel.delta_cycles();
-  report.wall_seconds =
+  report.host.wall_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();
   report.trace = std::move(instance.trace);
   for (std::size_t i = 0; i < instance.fifos.size(); ++i) {
@@ -266,9 +266,9 @@ PerformanceReport SystemModel::run(int frames) {
     const double elapsed_s = report.elapsed.to_seconds();
     report.bus_load =
         elapsed_s <= 0.0 ? 0.0 : instance.bus->busy_time().to_seconds() / elapsed_s;
-    if (report.wall_seconds > 0.0) {
+    if (report.host.wall_seconds > 0.0) {
       const double sim_cycles = report.elapsed.to_seconds() * params_.bus_hz;
-      report.sim_cycles_per_wall_second = sim_cycles / report.wall_seconds;
+      report.host.sim_cycles_per_wall_second = sim_cycles / report.host.wall_seconds;
     }
   }
   if (instance.cpu_model != nullptr && !report.elapsed.is_zero()) {

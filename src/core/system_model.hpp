@@ -69,7 +69,19 @@ enum class ModelLevel {
   reconfigurable,      ///< level 3
 };
 
-/// Everything the performance-evaluation step reports.
+/// Host-machine measurement of one simulation run (the paper's kHz
+/// simulation-speed figures). Deliberately separated from the simulated-time
+/// metrics: these values vary run-to-run and machine-to-machine, so they
+/// must never flow into determinism or trace-agreement comparisons.
+struct HostMetrics {
+  double wall_seconds = 0.0;
+  /// Simulated bus-clock cycles per wall-clock second (levels 2/3).
+  double sim_cycles_per_wall_second = 0.0;
+};
+
+/// Everything the performance-evaluation step reports. All fields except
+/// `host` derive from simulated time and are bit-reproducible for a fixed
+/// scenario; `host` is wall-clock-derived and excluded from comparisons.
 struct PerformanceReport {
   int frames = 0;
   sim::Time elapsed;
@@ -83,12 +95,11 @@ struct PerformanceReport {
   std::size_t consistency_violations = 0;
   std::map<std::string, std::size_t> fifo_peaks;  ///< channel high-water marks
 
-  // Simulation-cost metrics (the paper's kHz figures).
+  // Simulation-cost metrics (deterministic: kernel event counts).
   std::uint64_t kernel_callbacks = 0;
   std::uint64_t delta_cycles = 0;
-  double wall_seconds = 0.0;
-  /// Simulated bus-clock cycles per wall-clock second (levels 2/3).
-  double sim_cycles_per_wall_second = 0.0;
+
+  HostMetrics host;  ///< wall-clock-derived; never compare across runs
 
   sim::Trace trace;
 };

@@ -1,0 +1,225 @@
+#include "exec/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace symbad::exec {
+
+namespace {
+
+void compute_agreements(CampaignReport& report) {
+  // Group members ordered by (level, submission index): each consecutive
+  // pair is an adjacent-level (or same-level reproducibility) check.
+  std::map<std::string, std::vector<const ScenarioResult*>> groups;
+  for (const auto& r : report.results) {
+    if (!r.group.empty()) groups[r.group].push_back(&r);
+  }
+  for (auto& [group, members] : groups) {
+    std::sort(members.begin(), members.end(),
+              [](const ScenarioResult* a, const ScenarioResult* b) {
+                if (a->level != b->level) return a->level < b->level;
+                return a->index < b->index;
+              });
+    for (std::size_t i = 0; i + 1 < members.size(); ++i) {
+      const ScenarioResult& lo = *members[i];
+      const ScenarioResult& hi = *members[i + 1];
+      AgreementVerdict verdict;
+      verdict.group = group;
+      verdict.lower_index = lo.index;
+      verdict.higher_index = hi.index;
+      verdict.lower_level = lo.level;
+      verdict.higher_level = hi.level;
+      if (!lo.ok || !hi.ok) {
+        verdict.agree = false;
+        verdict.detail = "scenario failed: " + (lo.ok ? hi.error : lo.error);
+      } else if (auto diff = sim::Trace::first_divergence(
+                     lo.report.trace, hi.report.trace, "lower level",
+                     "higher level")) {
+        verdict.agree = false;
+        verdict.detail = *diff;
+      } else {
+        verdict.agree = true;
+      }
+      report.agreements.push_back(std::move(verdict));
+    }
+  }
+}
+
+}  // namespace
+
+std::string CampaignReport::to_string() const {
+  std::ostringstream os;
+  os << results.size() << " scenarios on " << workers << " worker(s): "
+     << (results.size() - failures()) << " ok, " << failures() << " failed; "
+     << agreements.size() << " agreement check(s), "
+     << (all_agree() ? "all levels agree" : "DISAGREEMENT") << "; "
+     << scenarios_per_second << " scenarios/s";
+  return os.str();
+}
+
+CampaignRunner::CampaignRunner(RuntimeFactory factory)
+    : CampaignRunner{std::move(factory), Options{}} {}
+
+CampaignRunner::CampaignRunner(RuntimeFactory factory, Options options)
+    : factory_{std::move(factory)}, options_{options} {
+  if (!factory_) throw std::invalid_argument{"CampaignRunner: empty runtime factory"};
+  if (options_.workers < 0) {
+    throw std::invalid_argument{"CampaignRunner: negative worker count"};
+  }
+}
+
+int CampaignRunner::resolve_workers(int requested) {
+  int workers = requested;
+  if (workers <= 0) {
+    if (const char* env = std::getenv("SYMBAD_CAMPAIGN_WORKERS")) {
+      workers = std::atoi(env);
+    }
+  }
+  if (workers <= 0) workers = static_cast<int>(std::thread::hardware_concurrency());
+  return std::clamp(workers, 1, 64);
+}
+
+CampaignReport CampaignRunner::run(const std::vector<Scenario>& scenarios) const {
+  CampaignReport report;
+  report.results.resize(scenarios.size());
+  const int scenario_cap =
+      static_cast<int>(std::max<std::size_t>(scenarios.size(), 1));
+  const int workers = std::min(resolve_workers(options_.workers), scenario_cap);
+  report.workers = workers;
+
+  std::vector<std::exception_ptr> errors(scenarios.size());
+  std::vector<verif::CoverageDb> worker_coverage(
+      options_.collect_coverage ? static_cast<std::size_t>(workers) : 0);
+
+  std::atomic<std::size_t> next{0};
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  auto worker_body = [&](int worker_id) {
+    // Coverage instrumentation is routed through a thread-local active
+    // database, so each worker installs its own; merged after the join.
+    std::optional<verif::CoverageDb::Scope> cov_scope;
+    if (options_.collect_coverage) {
+      cov_scope.emplace(worker_coverage[static_cast<std::size_t>(worker_id)]);
+    }
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= scenarios.size()) break;
+      const Scenario& scenario = scenarios[i];
+      ScenarioResult& result = report.results[i];
+      result.name = scenario.name.empty() ? "scenario#" + std::to_string(i)
+                                          : scenario.name;
+      result.group = scenario.group;
+      result.index = i;
+      result.level = level_number(scenario.level);
+      try {
+        auto runtime = factory_(scenario);
+        if (runtime == nullptr) {
+          throw std::logic_error{"campaign: runtime factory returned null"};
+        }
+        core::SystemModel model{scenario.graph, scenario.partition, *runtime,
+                                scenario.params, scenario.level};
+        result.report = model.run(scenario.frames);
+        result.ok = true;
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      if (errors[i] != nullptr) {
+        try {
+          std::rethrow_exception(errors[i]);
+        } catch (const std::exception& e) {
+          result.error = e.what();
+        } catch (...) {
+          result.error = "unknown error";
+        }
+      }
+    }
+  };
+
+  if (workers == 1) {
+    worker_body(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(worker_body, w);
+    for (auto& t : pool) t.join();
+  }
+
+  const auto wall_end = std::chrono::steady_clock::now();
+  report.wall_seconds_total =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  if (report.wall_seconds_total > 0.0 && !scenarios.empty()) {
+    report.scenarios_per_second =
+        static_cast<double>(scenarios.size()) / report.wall_seconds_total;
+  }
+
+  if (options_.collect_coverage) {
+    verif::CoverageDb merged;
+    for (const auto& db : worker_coverage) merged.merge_from(db);
+    report.coverage = merged.report();
+    report.coverage_modules = merged.modules().size();
+  }
+
+  compute_agreements(report);
+
+  if (options_.rethrow_errors) {
+    for (auto& error : errors) {
+      if (error != nullptr) std::rethrow_exception(error);
+    }
+  }
+  return report;
+}
+
+// ------------------------------------------------- explorer integration
+
+std::vector<Scenario> scenarios_for_points(const std::vector<core::DesignPoint>& points,
+                                           const core::TaskGraph& graph,
+                                           const core::PlatformParams& params,
+                                           int frames) {
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& point = points[i];
+    Scenario s;
+    s.name = point.label.empty() ? "point#" + std::to_string(i) : point.label;
+    s.graph = graph;
+    s.partition = point.partition;
+    s.level = point.partition.contexts().empty() ? core::ModelLevel::timed_platform
+                                                 : core::ModelLevel::reconfigurable;
+    s.params = params;
+    s.frames = frames;
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+core::SimulationScorer simulation_scorer(const CampaignRunner& runner,
+                                         const core::TaskGraph& graph,
+                                         const core::PlatformParams& params,
+                                         int frames) {
+  // Everything is captured by value (the runner copy is a std::function plus
+  // options): a SimulationScorer is made to be stored and called later, so
+  // it must not dangle when the arguments were temporaries.
+  return [runner, graph, params, frames](const std::vector<core::DesignPoint>& points) {
+    const auto campaign = runner.run(scenarios_for_points(points, graph, params, frames));
+    std::vector<core::PerformanceReport> reports;
+    reports.reserve(campaign.results.size());
+    for (const auto& r : campaign.results) {
+      if (!r.ok) {
+        throw std::runtime_error{"simulation grading failed for '" + r.name +
+                                 "': " + r.error};
+      }
+      reports.push_back(r.report);
+    }
+    return reports;
+  };
+}
+
+}  // namespace symbad::exec

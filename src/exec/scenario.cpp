@@ -1,0 +1,32 @@
+#include "exec/scenario.hpp"
+
+#include <stdexcept>
+
+namespace symbad::exec {
+
+std::vector<Scenario> cross_level_scenarios(std::string group,
+                                            const core::TaskGraph& graph,
+                                            const core::Partition& partition,
+                                            const core::PlatformParams& params,
+                                            int frames,
+                                            const std::vector<core::ModelLevel>& levels) {
+  if (group.empty()) {
+    throw std::invalid_argument{"cross_level_scenarios: group must be named"};
+  }
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(levels.size());
+  for (const auto level : levels) {
+    Scenario s;
+    s.name = group + ".L" + std::to_string(level_number(level));
+    s.group = group;
+    s.graph = graph;
+    s.partition = partition;
+    s.level = level;
+    s.params = params;
+    s.frames = frames;
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+}  // namespace symbad::exec

@@ -1,0 +1,67 @@
+#pragma once
+// Scenario descriptions for campaign execution.
+//
+// The flow is campaign-shaped: the same task graph is simulated at levels
+// 1/2/3 across many partitions, platform parameter sets and frame workloads,
+// and every refinement is validated by trace comparison against the previous
+// level. A `Scenario` is one such cell of the campaign — a complete, self-
+// contained description of a single `core::SystemModel` run, cheap to copy
+// and safe to ship to a worker thread.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "core/system_model.hpp"
+#include "core/task_graph.hpp"
+#include "verif/fault.hpp"
+
+namespace symbad::exec {
+
+/// One simulation scenario: everything a worker needs to build and run a
+/// `core::SystemModel` except the stage runtime, which the campaign's
+/// runtime factory constructs fresh per scenario (per-run determinism).
+struct Scenario {
+  std::string name;          ///< human-readable label in reports
+  std::string group;         ///< scenarios sharing a group are trace-compared
+                             ///< between adjacent levels ("" = ungrouped)
+  core::TaskGraph graph;
+  core::Partition partition;
+  core::ModelLevel level = core::ModelLevel::untimed_functional;
+  core::PlatformParams params{};
+  int frames = 4;
+
+  // Optional knobs interpreted by the runtime factory, not by the runner:
+  /// Seed for stochastic runtimes (stimulus generation, fault campaigns).
+  std::uint64_t seed = 0;
+  /// Inject one bit fault at a stage boundary (ATPG-style what-if runs).
+  std::optional<verif::BitFault> fault;
+  /// Ask the factory for a bug-seeded runtime variant (e.g. the paper's
+  /// uninitialised CRTBORD window buffer).
+  bool seeded_bug = false;
+};
+
+/// Refinement level as the paper's 1/2/3 numbering (for reports/ordering).
+[[nodiscard]] constexpr int level_number(core::ModelLevel level) noexcept {
+  switch (level) {
+    case core::ModelLevel::untimed_functional: return 1;
+    case core::ModelLevel::timed_platform: return 2;
+    case core::ModelLevel::reconfigurable: return 3;
+  }
+  return 0;
+}
+
+/// Convenience builder: one group of scenarios pushing the same
+/// (graph, partition) through each requested refinement level, so that the
+/// campaign's agreement pass verifies every adjacent pair.
+[[nodiscard]] std::vector<Scenario> cross_level_scenarios(
+    std::string group, const core::TaskGraph& graph,
+    const core::Partition& partition, const core::PlatformParams& params,
+    int frames, const std::vector<core::ModelLevel>& levels = {
+                     core::ModelLevel::untimed_functional,
+                     core::ModelLevel::timed_platform,
+                     core::ModelLevel::reconfigurable});
+
+}  // namespace symbad::exec

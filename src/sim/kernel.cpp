@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace symbad::sim {
 
@@ -32,9 +33,11 @@ Event::Event(Kernel& kernel, std::string name)
 
 void Event::fire() {
   // Move waiters out first: a resumed coroutine may immediately re-wait.
-  std::vector<std::coroutine_handle<>> to_resume;
-  to_resume.swap(waiters_);
-  for (auto handle : to_resume) handle.resume();
+  // The scratch vector keeps its capacity across fires, so steady-state
+  // notification allocates nothing.
+  firing_.swap(waiters_);
+  for (auto handle : firing_) handle.resume();
+  firing_.clear();
 }
 
 void Event::notify() {
@@ -109,15 +112,32 @@ void Kernel::spawn(Process process, std::string /*name*/) {
   schedule_delta([handle] { handle.resume(); });
 }
 
-void Kernel::schedule(Time delay, std::function<void()> fn) {
+void Kernel::schedule(Time delay, SmallFn fn) {
   if (delay < Time::zero()) {
     throw std::invalid_argument{"Kernel::schedule: negative delay"};
   }
-  queue_.push(Scheduled{now_ + delay, next_seq_++, std::move(fn)});
+  if (delay.is_zero()) {
+    // Current-time bucket: plain FIFO append, no heap reshuffle. Ordering
+    // is preserved because every event already queued for this instant
+    // carries a smaller sequence number and is drained first.
+    now_bucket_.push_back(std::move(fn));
+    return;
+  }
+  heap_.push_back(Scheduled{now_ + delay, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
-void Kernel::schedule_delta(std::function<void()> fn) {
+void Kernel::schedule_delta(SmallFn fn) {
   delta_.push_back(std::move(fn));
+}
+
+void Kernel::run_next_timed() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Scheduled item = std::move(heap_.back());
+  heap_.pop_back();
+  now_ = item.at;
+  item.fn();
+  ++callbacks_executed_;
 }
 
 RunResult Kernel::run(Time limit) {
@@ -133,33 +153,55 @@ RunResult Kernel::run(Time limit) {
     }
     if (!delta_.empty()) {
       // One delta cycle: drain the jobs queued so far; jobs they enqueue
-      // belong to the following delta cycle.
-      std::vector<std::function<void()>> batch;
-      batch.swap(delta_);
+      // belong to the following delta cycle. Swapping with the scratch
+      // vector retains both buffers' capacity across cycles.
+      delta_scratch_.swap(delta_);
       ++delta_cycles_;
-      for (auto& fn : batch) {
+      for (auto& fn : delta_scratch_) {
         fn();
         ++callbacks_executed_;
         if (stop_requested_) break;
       }
+      delta_scratch_.clear();
       continue;
     }
-    if (queue_.empty()) {
+    // Timed events at the current instant that were scheduled before this
+    // time point began (they precede every bucket entry in seq order).
+    if (!heap_.empty() && heap_.front().at <= now_) {
+      if (now_ > limit) {
+        now_ = limit;
+        result = RunResult::time_limit;
+        break;
+      }
+      run_next_timed();
+      continue;
+    }
+    // Zero-delay callbacks appended while executing at the current instant.
+    if (now_head_ < now_bucket_.size()) {
+      if (now_ > limit) {
+        now_ = limit;
+        result = RunResult::time_limit;
+        break;
+      }
+      SmallFn fn = std::move(now_bucket_[now_head_++]);
+      if (now_head_ == now_bucket_.size()) {
+        now_bucket_.clear();
+        now_head_ = 0;
+      }
+      fn();
+      ++callbacks_executed_;
+      continue;
+    }
+    if (heap_.empty()) {
       result = RunResult::no_more_events;
       break;
     }
-    if (queue_.top().at > limit) {
+    if (heap_.front().at > limit) {
       now_ = limit;
       result = RunResult::time_limit;
       break;
     }
-    // `top()` only exposes const access; the payload must be moved out, so
-    // copy the const ref's guts via const_cast-free extraction.
-    Scheduled item{queue_.top().at, queue_.top().seq, queue_.top().fn};
-    queue_.pop();
-    now_ = item.at;
-    item.fn();
-    ++callbacks_executed_;
+    run_next_timed();
   }
 
   running_ = false;

@@ -15,12 +15,11 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <string>
 #include <vector>
 
 #include "sim/coro.hpp"
+#include "sim/smallfn.hpp"
 #include "sim/time.hpp"
 
 namespace symbad::sim {
@@ -68,6 +67,7 @@ private:
   Kernel* kernel_;
   std::string name_;
   std::vector<std::coroutine_handle<>> waiters_;
+  std::vector<std::coroutine_handle<>> firing_;  ///< fire() scratch, capacity reused
   std::uint64_t generation_ = 0;
   bool pending_ = false;
   bool pending_is_delta_ = false;
@@ -88,10 +88,13 @@ public:
   void spawn(Process process, std::string name = "process");
 
   /// Schedule `fn` to run `delay` from now (0 = at the current time, after
-  /// already-queued same-time work). Throws on negative delay.
-  void schedule(Time delay, std::function<void()> fn);
+  /// already-queued same-time work). Throws on negative delay. Zero-delay
+  /// callbacks go to a current-time bucket (plain FIFO, no heap reshuffle);
+  /// with SmallFn payloads and retained queue capacity, steady-state
+  /// scheduling performs no heap allocation.
+  void schedule(Time delay, SmallFn fn);
   /// Schedule `fn` into the next delta cycle of the current time point.
-  void schedule_delta(std::function<void()> fn);
+  void schedule_delta(SmallFn fn);
 
   /// Run until the queue drains, `stop()` is called, or `limit` is passed.
   /// Re-throws the first exception that escaped a process.
@@ -137,8 +140,10 @@ private:
   struct Scheduled {
     Time at;
     std::uint64_t seq;
-    std::function<void()> fn;
+    SmallFn fn;
   };
+  /// Heap ordering: std::push_heap's "max" element under this comparison is
+  /// the earliest (time, insertion-order) event, kept at heap_.front().
   struct Later {
     bool operator()(const Scheduled& a, const Scheduled& b) const noexcept {
       if (a.at != b.at) return a.at > b.at;
@@ -146,8 +151,22 @@ private:
     }
   };
 
-  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
-  std::vector<std::function<void()>> delta_;
+  /// Pops the earliest heap event and runs it at its timestamp.
+  void run_next_timed();
+
+  // Timed events beyond the current instant: a binary min-heap over a plain
+  // vector (std::push_heap / std::pop_heap move elements, so the move-only
+  // SmallFn payload never needs a copy and the vector's capacity is retained
+  // across pops — no allocation once warmed up).
+  std::vector<Scheduled> heap_;
+  // Zero-delay events at the current time point: drained FIFO after the
+  // heap's same-time events (which always carry smaller sequence numbers).
+  std::vector<SmallFn> now_bucket_;
+  std::size_t now_head_ = 0;
+  // Delta queue and its ping-pong partner: one cycle swaps them, so both
+  // retain their capacity instead of reallocating every cycle.
+  std::vector<SmallFn> delta_;
+  std::vector<SmallFn> delta_scratch_;
   std::vector<void*> live_processes_;  // frames of spawned, unfinished processes
   std::exception_ptr pending_error_;
   Time now_;

@@ -1,0 +1,122 @@
+#pragma once
+// A move-only, type-erased `void()` callable with small-buffer optimisation.
+//
+// The discrete-event kernel schedules millions of tiny callbacks per
+// simulated second — coroutine-resume thunks and event-notification guards
+// of one or two pointers each. `std::function` pays for copyability with a
+// conservative inline policy (libstdc++ only inlines trivially copyable
+// targets up to two words) and copies on priority-queue extraction; SmallFn
+// stores any nothrow-movable callable of up to `inline_capacity` bytes in
+// place, so the kernel's schedule()/drain hot path performs no heap
+// allocation in steady state. Larger callables degrade gracefully to a
+// single heap cell (queryable via `is_inline()` so tests can pin the
+// steady-state guarantee).
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace symbad::sim {
+
+class SmallFn {
+public:
+  /// Inline storage size: enough for several pointers/words of capture —
+  /// every callback the kernel itself creates fits with room to spare.
+  static constexpr std::size_t inline_capacity = 48;
+
+  /// True when a callable of type `F` is stored in place (no allocation).
+  template <typename F>
+  static constexpr bool stores_inline =
+      sizeof(F) <= inline_capacity && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  SmallFn() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, SmallFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  SmallFn(F&& fn) {  // NOLINT(google-explicit-constructor): function-like
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (stores_inline<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  SmallFn(SmallFn&& other) noexcept : ops_{other.ops_} {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  ~SmallFn() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+  /// False when the target lives in a heap cell (oversized capture).
+  [[nodiscard]] bool is_inline() const noexcept {
+    return ops_ != nullptr && ops_->inline_stored;
+  }
+
+private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs `src`'s target into `dst` and destroys the source.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool inline_stored;
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* s) { (*static_cast<Fn*>(s))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* s) noexcept { static_cast<Fn*>(s)->~Fn(); },
+      true,
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps{
+      [](void* s) { (**static_cast<Fn**>(s))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+      [](void* s) noexcept { delete *static_cast<Fn**>(s); },
+      false,
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[inline_capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace symbad::sim

@@ -5,8 +5,10 @@
 // levels agree when the per-channel *value sequences* are identical, time
 // being deliberately ignored (level 1 is untimed).
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,10 +42,52 @@ public:
     return out;
   }
 
+  /// First per-channel divergence between two traces' value sequences, or
+  /// nullopt when they agree (timestamps deliberately ignored — level 1 is
+  /// untimed). The labels name the two traces in the diagnostic; this is
+  /// the single implementation behind every cross-level agreement check
+  /// (Trace::data_equal, the campaign verdicts, the gtest helpers).
+  [[nodiscard]] static std::optional<std::string> first_divergence(
+      const Trace& a, const Trace& b, std::string_view a_label = "lower",
+      std::string_view b_label = "higher") {
+    const auto la = std::string{a_label};
+    const auto lb = std::string{b_label};
+    const auto ca = a.by_channel();
+    const auto cb = b.by_channel();
+    for (const auto& [channel, values] : ca) {
+      const auto it = cb.find(channel);
+      if (it == cb.end()) {
+        return "channel '" + channel + "' present in " + la +
+               " trace but missing from " + lb;
+      }
+      const auto& other = it->second;
+      const std::size_t n = std::min(values.size(), other.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        if (values[i] != other[i]) {
+          return "channel '" + channel + "' diverges at index " +
+                 std::to_string(i) + ": " + la + "=" + std::to_string(values[i]) +
+                 " " + lb + "=" + std::to_string(other[i]);
+        }
+      }
+      if (values.size() != other.size()) {
+        return "channel '" + channel + "' length mismatch: " + la + " has " +
+               std::to_string(values.size()) + " values, " + lb + " has " +
+               std::to_string(other.size());
+      }
+    }
+    for (const auto& [channel, values] : cb) {
+      if (!ca.contains(channel)) {
+        return "channel '" + channel + "' present in " + lb +
+               " trace but missing from " + la;
+      }
+    }
+    return std::nullopt;
+  }
+
   /// Order-insensitive-in-time equality: same channels, same value sequences.
   /// This is the check used between refinement levels.
   [[nodiscard]] static bool data_equal(const Trace& a, const Trace& b) {
-    return a.by_channel() == b.by_channel();
+    return !first_divergence(a, b).has_value();
   }
 
   /// FNV-1a fingerprint over the per-channel value sequences.

@@ -41,6 +41,23 @@ void CovModule::reset_hits() noexcept {
   zero(cond_false_);
 }
 
+void CovModule::merge_from(const CovModule& other) {
+  auto accumulate = [](std::vector<std::uint64_t>& into,
+                       const std::vector<std::uint64_t>& from) {
+    if (from.size() > into.size()) into.resize(from.size(), 0);
+    for (std::size_t i = 0; i < from.size(); ++i) into[i] += from[i];
+  };
+  accumulate(stmt_, other.stmt_);
+  accumulate(branch_true_, other.branch_true_);
+  accumulate(branch_false_, other.branch_false_);
+  accumulate(cond_true_, other.cond_true_);
+  accumulate(cond_false_, other.cond_false_);
+}
+
+void CoverageDb::merge_from(const CoverageDb& other) {
+  for (const auto& [name, m] : other.modules()) module(name).merge_from(m);
+}
+
 CovModule& CoverageDb::module(const std::string& name) {
   const auto it = modules_.find(name);
   if (it != modules_.end()) return it->second;

@@ -71,6 +71,13 @@ public:
 
   void reset_hits() noexcept;
 
+  /// Accumulates another module's declarations (max) and hits (sum) into
+  /// this one. Used to aggregate per-worker coverage databases after a
+  /// multi-threaded campaign: each worker instruments into its own
+  /// thread-local database, and the results are merged once the workers
+  /// have joined.
+  void merge_from(const CovModule& other);
+
 private:
   static void resize(std::vector<std::uint64_t>& v, int count) {
     if (count > static_cast<int>(v.size())) v.resize(static_cast<std::size_t>(count), 0);
@@ -130,6 +137,10 @@ public:
 
   [[nodiscard]] CoverageReport report() const;
   void reset_hits() noexcept;
+
+  /// Merges every module of `other` into this database (see
+  /// CovModule::merge_from); modules missing here are created.
+  void merge_from(const CoverageDb& other);
 
   // --- active-database management -------------------------------------
   /// RAII scope that makes `db` the active database.

@@ -79,39 +79,13 @@ template <typename T>
 // ------------------------------------------------------ trace comparison
 
 /// Trace::data_equal with a diagnosis: which channel, which index, which
-/// values. Use with EXPECT_TRUE / ASSERT_TRUE.
+/// values (via sim::Trace::first_divergence, the one implementation of the
+/// cross-level agreement check). Use with EXPECT_TRUE / ASSERT_TRUE.
 [[nodiscard]] inline ::testing::AssertionResult traces_data_equal(
     const sim::Trace& golden, const sim::Trace& candidate) {
-  const auto a = golden.by_channel();
-  const auto b = candidate.by_channel();
-  for (const auto& [channel, values] : a) {
-    const auto it = b.find(channel);
-    if (it == b.end()) {
-      return ::testing::AssertionFailure()
-             << "channel '" << channel << "' present in golden trace but "
-             << "missing from candidate";
-    }
-    const auto& other = it->second;
-    const std::size_t n = std::min(values.size(), other.size());
-    for (std::size_t i = 0; i < n; ++i) {
-      if (values[i] != other[i]) {
-        return ::testing::AssertionFailure()
-               << "channel '" << channel << "' diverges at index " << i
-               << ": golden=" << values[i] << " candidate=" << other[i];
-      }
-    }
-    if (values.size() != other.size()) {
-      return ::testing::AssertionFailure()
-             << "channel '" << channel << "' length mismatch: golden has "
-             << values.size() << " values, candidate has " << other.size();
-    }
-  }
-  for (const auto& [channel, values] : b) {
-    if (!a.contains(channel)) {
-      return ::testing::AssertionFailure()
-             << "channel '" << channel << "' present in candidate trace but "
-             << "missing from golden";
-    }
+  if (const auto diff =
+          sim::Trace::first_divergence(golden, candidate, "golden", "candidate")) {
+    return ::testing::AssertionFailure() << *diff;
   }
   return ::testing::AssertionSuccess();
 }
