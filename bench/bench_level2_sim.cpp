@@ -5,6 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+// Counting allocator shared with test_sim's steady-state pin, so the CI
+// perf gate's host-independent `allocations` counter and the test measure
+// the same thing (the header defines this binary's global operator new).
+#include "../tests/support/alloc_counter.hpp"
 #include "bench_common.hpp"
 #include "sim/kernel.hpp"
 
@@ -59,6 +63,23 @@ void BM_Level2_KernelSchedulePath(benchmark::State& state) {
     Event tick{kernel, "tick"};
     constexpr int kEvents = 64;
     constexpr std::uint64_t kRounds = 2000;
+    // Warm-up round: queues grow to steady-state capacity.
+    for (int i = 0; i < kEvents; ++i) {
+      kernel.schedule(Time::ns(i + 1), [&kernel, &tick, left = std::uint64_t{8}]() mutable {
+        struct Warm {
+          Kernel* kernel;
+          Event* tick;
+          std::uint64_t left;
+          void operator()() {
+            tick->notify();
+            if (--left > 0) kernel->schedule(Time::ns(7), std::move(*this));
+          }
+        };
+        Warm{&kernel, &tick, left}();
+      });
+    }
+    (void)kernel.run();
+    test_support::arm_allocation_counter();
     for (int i = 0; i < kEvents; ++i) {
       kernel.schedule(Time::ns(i + 1), [&kernel, &tick, left = kRounds]() mutable {
         struct Hop {
@@ -74,9 +95,11 @@ void BM_Level2_KernelSchedulePath(benchmark::State& state) {
       });
     }
     (void)kernel.run();
+    const auto allocations = test_support::disarm_allocation_counter();
     benchmark::DoNotOptimize(kernel.callbacks_executed());
     state.counters["callbacks"] =
         static_cast<double>(kernel.callbacks_executed());
+    state.counters["allocations"] = static_cast<double>(allocations);
   }
   state.SetItemsProcessed(state.iterations() * 64 * 2000);
 }

@@ -1,0 +1,81 @@
+// E9 — Incremental bounded model checking (paper §3.4): the lazy unrolling
+// engine on the deepest case-study instances. Complements bench_mc_pcc
+// (whole property suites / PCC): here the focus is the per-bound cost
+// profile — deep clean runs, early falsification (where laziness saves the
+// whole tail of the horizon), and the shared-solver k-induction step.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "app/rtl_blocks.hpp"
+#include "mc/mc.hpp"
+
+namespace {
+
+using namespace symbad;
+
+void BM_Mc_LazyBmcDeepUnrolling(benchmark::State& state) {
+  // Deep clean BMC run on the ROOT core: every bound is checked, so this
+  // measures steady-state per-bound cost (encode one frame + one solve on
+  // the long-lived solver) plus the induction step.
+  const auto n = app::build_root_rtl();
+  const mc::ModelChecker checker{n};
+  const auto prop = mc::Property::invariant(
+      "busy_and_done_exclusive",
+      !(mc::Expr::signal("busy") && mc::Expr::signal("done")));
+  mc::CheckResult result;
+  for (auto _ : state) {
+    result = checker.check(prop, {static_cast<int>(state.range(0)), 3});
+    benchmark::DoNotOptimize(result.status);
+  }
+  state.counters["bound"] = static_cast<double>(state.range(0));
+  state.counters["sat_conflicts_total"] = static_cast<double>(result.total_sat_conflicts);
+  state.counters["sat_conflicts_induction"] =
+      static_cast<double>(result.induction_conflicts);
+}
+BENCHMARK(BM_Mc_LazyBmcDeepUnrolling)->Arg(15)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void BM_Mc_EarlyFalsificationUnderDeepHorizon(benchmark::State& state) {
+  // A property that fails almost immediately, checked with a deep max
+  // bound: the lazy unrolling only ever encodes the frames up to the
+  // failing bound, not the whole horizon.
+  const auto n = app::build_wrapper_fsm();
+  const mc::ModelChecker checker{n};
+  const auto prop = mc::Property::invariant(
+      "never_busy", !mc::Expr::signal("busy"));  // false after one start
+  mc::CheckResult result;
+  for (auto _ : state) {
+    result = checker.check(prop, {40, 4});
+    benchmark::DoNotOptimize(result.status);
+  }
+  state.counters["falsified"] = result.status == mc::CheckStatus::falsified ? 1.0 : 0.0;
+  state.counters["bound_used"] = static_cast<double>(result.bound_used);
+  state.counters["sat_conflicts"] = static_cast<double>(result.sat_conflicts);
+}
+BENCHMARK(BM_Mc_EarlyFalsificationUnderDeepHorizon)->Unit(benchmark::kMillisecond);
+
+void BM_Mc_SharedSolverInductionProof(benchmark::State& state) {
+  // An inductive invariant on the DISTANCE PE: the k-induction solve runs
+  // on the same solver (and learned clauses) as the preceding BMC sweep.
+  const auto n = app::build_distance_rtl(8, 16);
+  const mc::ModelChecker checker{n};
+  const auto prop = mc::Property::next(
+      "overflow_sticky",
+      mc::Expr::signal("overflow") && !mc::Expr::signal("clear_in"),
+      mc::Expr::signal("overflow"));
+  mc::CheckResult result;
+  for (auto _ : state) {
+    result = checker.check(prop, {static_cast<int>(state.range(0)), 3});
+    benchmark::DoNotOptimize(result.status);
+  }
+  state.counters["proved"] = result.status == mc::CheckStatus::proved ? 1.0 : 0.0;
+  state.counters["sat_conflicts_induction"] =
+      static_cast<double>(result.induction_conflicts);
+  state.counters["sat_conflicts_total"] = static_cast<double>(result.total_sat_conflicts);
+}
+BENCHMARK(BM_Mc_SharedSolverInductionProof)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// E8 — CDCL SAT solver hot paths (the engine behind §3.1 SAT-ATPG and the
+// §3.4 model checker): clause-database reduction under conflict-heavy
+// instances, incremental solving under assumptions, and Tseitin encoding
+// throughput (the add_clause fast path every formal engine feeds).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "app/rtl_blocks.hpp"
+#include "rtl/cnf.hpp"
+#include "sat/instances.hpp"
+#include "sat/solver.hpp"
+
+namespace {
+
+using namespace symbad;
+using sat::add_pigeonhole;  // shared generator (src/sat/instances.hpp)
+using sat::Lit;
+using sat::Solver;
+using sat::Var;
+
+void BM_Sat_PigeonholeReduction(benchmark::State& state) {
+  // Conflict-heavy UNSAT proof with the learned-DB reduction on (arg 1) or
+  // off (arg 0). Conflict counts are deterministic and host-independent.
+  const bool reduce = state.range(0) != 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t live = 0;
+  std::uint64_t reductions = 0;
+  for (auto _ : state) {
+    Solver s;
+    Solver::ReduceOptions opts;
+    opts.enabled = reduce;
+    opts.base = 300;
+    opts.increment = 150;
+    s.set_reduce_options(opts);
+    add_pigeonhole(s, 7);
+    benchmark::DoNotOptimize(s.solve());
+    conflicts = s.statistics().conflicts;
+    live = s.learned_clause_count();
+    reductions = s.statistics().db_reductions;
+  }
+  state.counters["sat_conflicts"] = static_cast<double>(conflicts);
+  state.counters["learned_live"] = static_cast<double>(live);
+  state.counters["db_reductions"] = static_cast<double>(reductions);
+}
+BENCHMARK(BM_Sat_PigeonholeReduction)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_Sat_IncrementalAssumptionSweep(benchmark::State& state) {
+  // One solver answering a sweep of assumption queries over a gated
+  // contradiction — the access pattern of per-bound BMC and per-fault ATPG.
+  // Later queries ride on the clauses learned by the earlier ones.
+  std::uint64_t conflicts = 0;
+  for (auto _ : state) {
+    Solver s;
+    const Var g = s.new_var();
+    add_pigeonhole(s, 6, Lit::positive(g));
+    for (int round = 0; round < 16; ++round) {
+      benchmark::DoNotOptimize(round % 2 == 0 ? s.solve({Lit::negative(g)}) : s.solve());
+    }
+    conflicts = s.statistics().conflicts;
+  }
+  state.counters["sat_conflicts"] = static_cast<double>(conflicts);
+}
+BENCHMARK(BM_Sat_IncrementalAssumptionSweep)->Unit(benchmark::kMillisecond);
+
+void BM_Sat_TseitinEncodeRootRtl(benchmark::State& state) {
+  // Pure encoding throughput: unroll the ROOT core's netlist N frames into
+  // a fresh solver (no solving). This is the add_clause/new_var fast path
+  // that dominates shallow BMC bounds.
+  const auto n = app::build_root_rtl();
+  const int frames = static_cast<int>(state.range(0));
+  int vars = 0;
+  for (auto _ : state) {
+    sat::Solver solver;
+    rtl::CnfEncoder encoder{n, solver};
+    encoder.begin_chain({});
+    benchmark::DoNotOptimize(encoder.frame(static_cast<std::size_t>(frames - 1)).lits.data());
+    vars = solver.variable_count();
+  }
+  state.counters["frames"] = static_cast<double>(frames);
+  state.counters["sat_vars"] = static_cast<double>(vars);
+}
+BENCHMARK(BM_Sat_TseitinEncodeRootRtl)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -2,7 +2,10 @@
 # Records a benchmark baseline: runs every bench binary with
 # --benchmark_format=json into bench/baseline/<name>.json, then folds the
 # per-binary results into one BENCH_BASELINE.json at the repo root (the
-# committed reference scripts/bench_compare.py gates against).
+# committed reference scripts/bench_compare.py gates against). User
+# counters (sat_conflicts, allocations, coverage_pct, ...) are folded in
+# alongside the timings — counter metrics are host-independent and are what
+# CI hard-gates on.
 #
 # Usage: scripts/bench_baseline.sh [build-dir]
 #
@@ -12,13 +15,17 @@
 #                     publication-grade measurement)
 #   BENCH_FILTER      optional --benchmark_filter regex
 #   BENCH_ONLY        space-separated subset of bench binary names to run
+#   BENCH_OUT         folded output path (default BENCH_BASELINE.json —
+#                     point elsewhere for CI candidate runs)
+#   BENCH_JSON_DIR    per-binary JSON directory (default bench/baseline)
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 MIN_TIME="${BENCH_MIN_TIME:-0.05}"
-OUT_DIR="bench/baseline"
+OUT_DIR="${BENCH_JSON_DIR:-bench/baseline}"
+OUT_FILE="${BENCH_OUT:-BENCH_BASELINE.json}"
 
 if [[ ! -d "$BUILD_DIR" ]]; then
   echo "error: build dir '$BUILD_DIR' not found (run cmake first)" >&2
@@ -53,8 +60,16 @@ for bin in "${benches[@]}"; do
   "$bin" "${args[@]}" > "$OUT_DIR/$name.json"
 done
 
-python3 - "$OUT_DIR" BENCH_BASELINE.json << 'PY'
+python3 - "$OUT_DIR" "$OUT_FILE" << 'PY'
 import json, pathlib, sys
+
+# Keys Google Benchmark always emits; everything else numeric is a counter.
+STANDARD = {
+    "name", "family_index", "per_family_instance_index", "run_name",
+    "run_type", "repetitions", "repetition_index", "threads", "iterations",
+    "real_time", "cpu_time", "time_unit", "aggregate_name",
+}
+
 out = {}
 base = pathlib.Path(sys.argv[1])
 for path in sorted(base.glob("bench_*.json")):
@@ -62,13 +77,19 @@ for path in sorted(base.glob("bench_*.json")):
     for b in data.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
-        out[f"{path.stem}/{b['name']}"] = {
+        entry = {
             "real_time": b["real_time"],
             "cpu_time": b["cpu_time"],
             "time_unit": b["time_unit"],
         }
+        counters = {k: v for k, v in b.items()
+                    if k not in STANDARD and isinstance(v, (int, float))}
+        if counters:
+            entry["counters"] = counters
+        out[f"{path.stem}/{b['name']}"] = entry
 ctx = {"note": "recorded by scripts/bench_baseline.sh; compare with "
-               "scripts/bench_compare.py (>20% real_time regression flags)"}
+               "scripts/bench_compare.py (>20% real_time regression flags; "
+               "counter metrics are host-independent and hard-gated in CI)"}
 pathlib.Path(sys.argv[2]).write_text(
     json.dumps({"context": ctx, "benchmarks": out}, indent=2) + "\n")
 print(f"wrote {sys.argv[2]} with {len(out)} benchmark entries")

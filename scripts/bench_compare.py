@@ -5,6 +5,8 @@ Usage:
     scripts/bench_compare.py [--baseline BENCH_BASELINE.json]
                              [--candidate BENCH_BASELINE.json]
                              [--threshold 0.20]
+                             [--time-mode fail|warn]
+                             [--counter-pattern REGEX]
 
 Typical flow:
     scripts/bench_baseline.sh          # refresh bench/baseline + candidate
@@ -12,13 +14,24 @@ Typical flow:
     scripts/bench_compare.py --candidate BENCH_BASELINE.json \
                              --baseline /tmp/committed.json
 
-Exits 1 when any benchmark's real_time regressed by more than the threshold
-(default 20%). Missing/new benchmarks are reported but are not failures —
-renames and added workloads should not break CI.
+Two kinds of gates:
+  * real_time — host-dependent. Regressions beyond the threshold fail by
+    default; pass --time-mode warn on shared/noisy hosts (the CI container
+    is a 1-core box where timings swing with neighbours).
+  * counters matching --counter-pattern (default: allocation and conflict
+    counts, which are deterministic and host-independent) — regressions
+    beyond the threshold always fail; a counter that appears from a zero
+    baseline fails, and so does a gated counter that disappears from a
+    still-running benchmark (otherwise the gate would silently stop
+    gating).
+
+Missing/new benchmarks are reported but are not failures — renames and
+added workloads should not break CI.
 """
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -35,13 +48,20 @@ def main() -> int:
     parser.add_argument("--candidate", required=True,
                         help="freshly recorded baseline JSON to check")
     parser.add_argument("--threshold", type=float, default=0.20,
-                        help="allowed fractional real_time regression (0.20 = 20%%)")
+                        help="allowed fractional regression (0.20 = 20%%)")
+    parser.add_argument("--time-mode", choices=("fail", "warn"), default="fail",
+                        help="whether real_time regressions fail or only warn")
+    parser.add_argument("--counter-pattern", default=r"alloc|conflict",
+                        help="regex of counter names that hard-fail on regression "
+                             "(host-independent metrics only)")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
     candidate = load(args.candidate)
+    counter_re = re.compile(args.counter_pattern)
 
-    regressions = []
+    time_regressions = []
+    counter_regressions = []
     improvements = []
     for name, ref in sorted(baseline.items()):
         cand = candidate.get(name)
@@ -49,23 +69,52 @@ def main() -> int:
             print(f"  [gone]     {name}")
             continue
         ref_t, cand_t = ref["real_time"], cand["real_time"]
-        if ref_t <= 0:
-            continue
-        delta = (cand_t - ref_t) / ref_t
-        if delta > args.threshold:
-            regressions.append((name, delta))
-            print(f"  [REGRESS]  {name}: {ref_t:.3f} -> {cand_t:.3f} "
-                  f"{ref['time_unit']} (+{delta * 100:.1f}%)")
-        elif delta < -args.threshold:
-            improvements.append((name, delta))
-            print(f"  [faster]   {name}: {ref_t:.3f} -> {cand_t:.3f} "
-                  f"{ref['time_unit']} ({delta * 100:.1f}%)")
+        if ref_t > 0:
+            delta = (cand_t - ref_t) / ref_t
+            if delta > args.threshold:
+                time_regressions.append((name, delta))
+                tag = "REGRESS" if args.time_mode == "fail" else "slower "
+                print(f"  [{tag}]  {name}: {ref_t:.3f} -> {cand_t:.3f} "
+                      f"{ref['time_unit']} (+{delta * 100:.1f}%)")
+            elif delta < -args.threshold:
+                improvements.append((name, delta))
+                print(f"  [faster]   {name}: {ref_t:.3f} -> {cand_t:.3f} "
+                      f"{ref['time_unit']} ({delta * 100:.1f}%)")
+        for cname, cref in ref.get("counters", {}).items():
+            if not counter_re.search(cname):
+                continue
+            ccand = cand.get("counters", {}).get(cname)
+            if ccand is None:
+                # A hard-gated counter that vanished while its benchmark
+                # still runs would silently neuter the gate — treat it as a
+                # failure (re-record the baseline if the removal is
+                # intentional).
+                counter_regressions.append((f"{name}:{cname}", float("inf")))
+                print(f"  [COUNTER]  {name}: gated counter {cname} disappeared")
+                continue
+            if cref == 0:
+                if ccand > 0:
+                    counter_regressions.append((f"{name}:{cname}", float("inf")))
+                    print(f"  [COUNTER]  {name}: {cname} appeared 0 -> {ccand:g}")
+                continue
+            cdelta = (ccand - cref) / cref
+            if cdelta > args.threshold:
+                counter_regressions.append((f"{name}:{cname}", cdelta))
+                print(f"  [COUNTER]  {name}: {cname} {cref:g} -> {ccand:g} "
+                      f"(+{cdelta * 100:.1f}%)")
     for name in sorted(set(candidate) - set(baseline)):
         print(f"  [new]      {name}")
 
-    print(f"\n{len(baseline)} baseline entries, {len(regressions)} regression(s) "
-          f"beyond {args.threshold * 100:.0f}%, {len(improvements)} improvement(s)")
-    return 1 if regressions else 0
+    print(f"\n{len(baseline)} baseline entries, "
+          f"{len(time_regressions)} real_time regression(s) beyond "
+          f"{args.threshold * 100:.0f}% ({args.time_mode} mode), "
+          f"{len(counter_regressions)} counter regression(s), "
+          f"{len(improvements)} improvement(s)")
+    if counter_regressions:
+        return 1
+    if time_regressions and args.time_mode == "fail":
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # CI gate for the Symbad repro: the tier-1 build+test loop, a parallel-safety
-# pass over the unit label, then an AddressSanitizer configure/build/ctest
-# pass with the threaded campaign runner explicitly exercised at 4 workers.
+# pass over the unit label, an AddressSanitizer configure/build/ctest pass
+# with the threaded campaign runner explicitly exercised at 4 workers, and a
+# perf-regression pass over the SAT/MC/kernel benches against the committed
+# BENCH_BASELINE.json. Timings are warn-only (this runs on a shared 1-core
+# host where wall-clock swings with neighbours); allocation-count and
+# conflict-count counters are host-independent and hard-fail beyond 20%.
 # Any failure exits nonzero.
 #
 # Usage: scripts/ci.sh [jobs]   (jobs defaults to nproc)
@@ -11,21 +15,27 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "==> [1/4] tier-1: Release build + full ctest"
+echo "==> [1/5] tier-1: Release build + full ctest"
 cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "==> [2/4] parallel-safety: ctest -L unit -j (suites must tolerate"
+echo "==> [2/5] parallel-safety: ctest -L unit -j (suites must tolerate"
 echo "    concurrent siblings — shared fixtures, tmp dirs, env)"
 ctest --test-dir build --output-on-failure -L unit -j "$((JOBS * 2))"
 
-echo "==> [3/4] AddressSanitizer build + full ctest"
+echo "==> [3/5] perf regression: SAT/MC/kernel benches vs BENCH_BASELINE.json"
+BENCH_ONLY="bench_sat bench_mc bench_mc_pcc bench_atpg bench_level2_sim" \
+  BENCH_OUT=build/bench_candidate.json \
+  BENCH_JSON_DIR=build/bench_candidate \
+  scripts/bench_baseline.sh build
+scripts/bench_compare.py --candidate build/bench_candidate.json --time-mode warn
+
+echo "==> [4/5] AddressSanitizer build + full ctest"
 SYMBAD_SANITIZE=address cmake -B build-asan -S .
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "==> [4/4] threaded campaign runner under ASan (4 workers)"
+echo "==> [5/5] threaded campaign runner under ASan (4 workers)"
 SYMBAD_CAMPAIGN_WORKERS=4 ./build-asan/test_exec
-
 echo "==> CI green"

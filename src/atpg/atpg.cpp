@@ -183,52 +183,163 @@ bool Laerte::detects_seeded_memory_bug(const Testbench& tb) const {
 
 // -------------------------------------------------------- SAT engine
 
-std::optional<SatTest> sat_generate_test(const rtl::Netlist& netlist, rtl::Net fault_net,
-                                         bool stuck_to, int unroll) {
-  sat::Solver solver;
-  rtl::CnfEncoder encoder{netlist, solver};
-  const std::map<rtl::Net, bool> faults{{fault_net, stuck_to}};
-
-  std::vector<rtl::Frame> good;
-  std::vector<rtl::Frame> bad;
-  std::vector<sat::Lit> diffs;
-  for (int f = 0; f < unroll; ++f) {
+SatEngine::SatEngine(const rtl::Netlist& netlist, Options options)
+    : netlist_{&netlist}, options_{options}, encoder_{netlist, solver_} {
+  // The good unrolling is shared by every fault and encoded exactly once.
+  for (int f = 0; f < options_.unroll; ++f) {
     rtl::CnfEncoder::Options good_opts;
     good_opts.state = f == 0 ? rtl::StateInit::reset : rtl::StateInit::chained;
-    if (f > 0) good_opts.previous = &good.back();
-    good.push_back(encoder.encode(good_opts));
-
+    if (f > 0) good_opts.previous = &good_.back();
+    good_.push_back(encoder_.encode(good_opts));
     std::vector<sat::Lit> shared;
-    for (const rtl::Net in : netlist.inputs()) shared.push_back(good.back().lit(in));
+    for (const rtl::Net in : netlist.inputs()) shared.push_back(good_.back().lit(in));
+    shared_inputs_.push_back(std::move(shared));
+  }
+  // Fanout adjacency for fault-cone tracing: combinational reader edges,
+  // plus sequential (next-state net -> flip-flop output) edges that carry a
+  // cone across the frame boundary.
+  comb_fanout_.resize(netlist.gate_count());
+  for (std::size_t i = 0; i < netlist.gate_count(); ++i) {
+    const rtl::Gate& g = netlist.gate(static_cast<rtl::Net>(i));
+    const rtl::Net reader = static_cast<rtl::Net>(i);
+    switch (g.kind) {
+      case rtl::GateKind::not_gate:
+        comb_fanout_[static_cast<std::size_t>(g.a)].push_back(reader);
+        break;
+      case rtl::GateKind::and_gate:
+      case rtl::GateKind::or_gate:
+      case rtl::GateKind::xor_gate:
+        comb_fanout_[static_cast<std::size_t>(g.a)].push_back(reader);
+        comb_fanout_[static_cast<std::size_t>(g.b)].push_back(reader);
+        break;
+      case rtl::GateKind::mux:
+        comb_fanout_[static_cast<std::size_t>(g.a)].push_back(reader);
+        comb_fanout_[static_cast<std::size_t>(g.b)].push_back(reader);
+        comb_fanout_[static_cast<std::size_t>(g.c)].push_back(reader);
+        break;
+      case rtl::GateKind::dff:
+        dff_edges_.emplace_back(g.a, reader);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+std::vector<std::vector<char>> SatEngine::fault_cone(rtl::Net fault_net) const {
+  const std::size_t n = netlist_->gate_count();
+  std::vector<std::vector<char>> cone(static_cast<std::size_t>(options_.unroll),
+                                      std::vector<char>(n, 0));
+  std::vector<rtl::Net> frontier;
+  for (int f = 0; f < options_.unroll; ++f) {
+    auto& marks = cone[static_cast<std::size_t>(f)];
+    // The stuck-at fault forces its net in every frame; flip-flops whose
+    // next-state fell in the previous frame's cone differ from this frame on.
+    frontier.clear();
+    frontier.push_back(fault_net);
+    if (f > 0) {
+      const auto& prev = cone[static_cast<std::size_t>(f - 1)];
+      for (const auto& [next_net, dff_net] : dff_edges_) {
+        if (prev[static_cast<std::size_t>(next_net)] != 0) frontier.push_back(dff_net);
+      }
+    }
+    for (const rtl::Net seed : frontier) marks[static_cast<std::size_t>(seed)] = 1;
+    while (!frontier.empty()) {
+      const rtl::Net net = frontier.back();
+      frontier.pop_back();
+      for (const rtl::Net reader : comb_fanout_[static_cast<std::size_t>(net)]) {
+        auto& mark = marks[static_cast<std::size_t>(reader)];
+        if (mark == 0) {
+          mark = 1;
+          frontier.push_back(reader);
+        }
+      }
+    }
+  }
+  return cone;
+}
+
+std::optional<SatTest> SatEngine::generate(rtl::Net fault_net, bool stuck_to) {
+  const std::map<rtl::Net, bool> faults{{fault_net, stuck_to}};
+  const sat::Var first_var = solver_.variable_count();
+  const sat::Lit act = sat::Lit::positive(solver_.new_var());
+
+  // Faulty copy plus output miter, every clause gated behind `act`. Only
+  // the fault's fanout cone is re-encoded; everything else reuses the good
+  // copy's literals, so out-of-cone outputs cannot differ and need no
+  // miter XOR.
+  const auto cone = fault_cone(fault_net);
+  std::vector<rtl::Frame> bad;
+  std::vector<sat::Lit> diff_clause{~act};
+  for (int f = 0; f < options_.unroll; ++f) {
+    const auto fi = static_cast<std::size_t>(f);
     rtl::CnfEncoder::Options bad_opts;
     bad_opts.state = f == 0 ? rtl::StateInit::reset : rtl::StateInit::chained;
     if (f > 0) bad_opts.previous = &bad.back();
-    bad_opts.shared_inputs = &shared;
+    bad_opts.shared_inputs = &shared_inputs_[fi];
     bad_opts.faults = &faults;
-    bad.push_back(encoder.encode(bad_opts));
+    bad_opts.cone = &cone[fi];
+    bad_opts.reuse_base = &good_[fi];
+    bad_opts.activation = act;
+    bad.push_back(encoder_.encode(bad_opts));
 
-    for (const auto& [name, net] : netlist.outputs()) {
-      const sat::Lit g = good.back().lit(net);
+    for (const auto& [name, net] : netlist_->outputs()) {
+      if (cone[fi][static_cast<std::size_t>(net)] == 0) continue;
+      const sat::Lit g = good_[fi].lit(net);
       const sat::Lit b = bad.back().lit(net);
-      const sat::Lit d = sat::Lit::positive(solver.new_var());
-      solver.add_ternary(~d, g, b);
-      solver.add_ternary(~d, ~g, ~b);
-      diffs.push_back(d);
+      const sat::Lit d = sat::Lit::positive(solver_.new_var());
+      solver_.add_clause({~act, ~d, g, b});
+      solver_.add_clause({~act, ~d, ~g, ~b});
+      diff_clause.push_back(d);
     }
   }
-  if (!solver.add_clause(diffs)) return std::nullopt;
-  if (solver.solve() != sat::Result::sat) return std::nullopt;
 
-  SatTest test;
-  for (int f = 0; f < unroll; ++f) {
-    std::map<std::string, bool> frame_inputs;
-    for (const rtl::Net in : netlist.inputs()) {
-      const sat::Lit l = good[static_cast<std::size_t>(f)].lit(in);
-      frame_inputs[netlist.net_name(in)] = solver.model_value(l.var()) != l.negated();
+  std::optional<SatTest> test;
+  if (solver_.add_clause(diff_clause) && solver_.solve({act}) == sat::Result::sat) {
+    test.emplace();
+    for (int f = 0; f < options_.unroll; ++f) {
+      std::map<std::string, bool> frame_inputs;
+      for (const rtl::Net in : netlist_->inputs()) {
+        const sat::Lit l = good_[static_cast<std::size_t>(f)].lit(in);
+        frame_inputs[netlist_->net_name(in)] = solver_.model_value(l.var()) != l.negated();
+      }
+      test->frames.push_back(std::move(frame_inputs));
     }
-    test.frames.push_back(std::move(frame_inputs));
+  }
+  // Retire the miter: all its clauses become satisfied and drift out of the
+  // watch lists; learned clauses mentioning ~act die with it. Then pin the
+  // cone's now-unconstrained variables at the root — otherwise every later
+  // SAT solve would still have to enumerate them into its model, and solve
+  // cost would grow with the number of retired faults.
+  solver_.add_unit(~act);
+  for (sat::Var v = first_var; v < solver_.variable_count(); ++v) {
+    if (solver_.root_value(v) == sat::Value::undef) {
+      solver_.add_unit(sat::Lit::negative(v));
+    }
   }
   return test;
+}
+
+std::vector<SatEngine::FaultResult> SatEngine::generate_tests(
+    std::span<const std::pair<rtl::Net, bool>> faults) {
+  std::vector<FaultResult> results;
+  results.reserve(faults.size());
+  for (const auto& [net, stuck_to] : faults) {
+    FaultResult r;
+    r.net = net;
+    r.stuck_to = stuck_to;
+    r.test = generate(net, stuck_to);
+    r.conflicts = solver_.last_solve_statistics().conflicts;
+    r.propagations = solver_.last_solve_statistics().propagations;
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+std::optional<SatTest> sat_generate_test(const rtl::Netlist& netlist, rtl::Net fault_net,
+                                         bool stuck_to, int unroll) {
+  SatEngine engine{netlist, {unroll}};
+  return engine.generate(fault_net, stuck_to);
 }
 
 }  // namespace symbad::atpg

@@ -17,13 +17,17 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "media/database.hpp"
 #include "media/face_gen.hpp"
 #include "media/pipeline.hpp"
+#include "rtl/cnf.hpp"
 #include "rtl/netlist.hpp"
+#include "sat/solver.hpp"
 #include "verif/coverage.hpp"
 #include "verif/fault.hpp"
 #include "verif/rng.hpp"
@@ -108,5 +112,58 @@ struct SatTest {
 [[nodiscard]] std::optional<SatTest> sat_generate_test(const rtl::Netlist& netlist,
                                                        rtl::Net fault_net, bool stuck_to,
                                                        int unroll = 4);
+
+/// Incremental multi-fault SAT test generator.
+///
+/// The good-circuit unrolling is Tseitin-encoded exactly once into one
+/// long-lived solver. Each fault then adds only its faulty copy plus the
+/// output miter, every clause gated behind a per-fault activation literal:
+/// the solve runs under that single assumption, and afterwards the unit
+/// clause ~activation permanently retires the miter (its clauses become
+/// satisfied and migrate out of watch propagation). Learned clauses about
+/// the good circuit and the shared inputs survive from fault to fault —
+/// the incremental-SAT reuse a fresh solver per fault throws away.
+class SatEngine {
+public:
+  struct Options {
+    int unroll = 4;  ///< time frames for both circuit copies
+  };
+
+  struct FaultResult {
+    rtl::Net net{};
+    bool stuck_to = false;
+    std::optional<SatTest> test;    ///< nullopt: undetectable within unroll
+    std::uint64_t conflicts = 0;    ///< solver conflicts for this fault alone
+    std::uint64_t propagations = 0; ///< ditto
+  };
+
+  explicit SatEngine(const rtl::Netlist& netlist) : SatEngine{netlist, Options{}} {}
+  SatEngine(const rtl::Netlist& netlist, Options options);
+
+  /// Generates a test for one fault on the shared solver.
+  [[nodiscard]] std::optional<SatTest> generate(rtl::Net fault_net, bool stuck_to);
+
+  /// Generates tests for a whole fault list, sharing the solver and its
+  /// learned clauses across faults; results are in input order.
+  [[nodiscard]] std::vector<FaultResult> generate_tests(
+      std::span<const std::pair<rtl::Net, bool>> faults);
+
+  [[nodiscard]] const sat::Solver& solver() const noexcept { return solver_; }
+  [[nodiscard]] int unroll() const noexcept { return options_.unroll; }
+
+private:
+  /// Per-frame fault cone: cone[f][net] != 0 iff `net` at frame f can
+  /// differ from the good copy. Only these nets are re-encoded.
+  [[nodiscard]] std::vector<std::vector<char>> fault_cone(rtl::Net fault_net) const;
+
+  const rtl::Netlist* netlist_;
+  Options options_;
+  sat::Solver solver_;
+  rtl::CnfEncoder encoder_;
+  std::vector<rtl::Frame> good_;
+  std::vector<std::vector<sat::Lit>> shared_inputs_;  ///< per frame, input order
+  std::vector<std::vector<rtl::Net>> comb_fanout_;    ///< net -> combinational readers
+  std::vector<std::pair<rtl::Net, rtl::Net>> dff_edges_;  ///< (next-state net, dff net)
+};
 
 }  // namespace symbad::atpg

@@ -8,10 +8,27 @@
 // private `sim::Kernel`) per scenario so that every simulation stays
 // bit-deterministic regardless of the worker count or scheduling order.
 //
+// Worker-count invariance guarantee: for any fixed scenario list,
+// `run()` produces identical `ScenarioResult`s (same traces, same reports,
+// same agreement verdicts, results in submission order) at 1, 2, 4 or any
+// other worker count — only `CampaignReport::scenarios_per_second` and the
+// `HostMetrics` inside each report may differ, and those never participate
+// in trace or determinism comparisons. `test_exec` pins this across worker
+// counts and seeds.
+//
+// Coverage-merge semantics: with `Options::collect_coverage`, each worker
+// runs every scenario under its own `verif::CoverageDb` scope (coverage
+// points hit by concurrent scenarios never race), and the per-worker
+// databases are folded with `CoverageDb::merge_from` after the pool joins.
+// Merging sums hit counts per (module, point), so the merged
+// `CampaignReport::coverage` is independent of worker count and of which
+// worker executed which scenario; per-scenario attribution is deliberately
+// not preserved.
+//
 // The report aggregates per-scenario `PerformanceReport`s, trace-agreement
-// verdicts between adjacent refinement levels of each scenario group, merged
-// coverage from all workers, and the campaign's host-side throughput
-// (scenarios per wall-clock second).
+// verdicts between adjacent refinement levels of each scenario group, the
+// merged coverage, and the campaign's host-side throughput (scenarios per
+// wall-clock second).
 
 #include <cstddef>
 #include <functional>

@@ -7,6 +7,17 @@
 // level. A `Scenario` is one such cell of the campaign — a complete, self-
 // contained description of a single `core::SystemModel` run, cheap to copy
 // and safe to ship to a worker thread.
+//
+// Worker-count invariance: a Scenario carries *everything* that can affect
+// its run (graph, partition, level, platform parameters, frame count, seed,
+// fault knob). Nothing about the execution environment — which worker picks
+// the scenario up, how many workers exist, in what order scenarios finish —
+// may influence the result. The campaign runner upholds this by building a
+// fresh `StageRuntime` (and, inside `core::SystemModel::run`, a fresh
+// `sim::Kernel`) per scenario per worker, so simulation traces and reports
+// are byte-identical at any worker count. Runtime factories must honor the
+// same rule: derive all randomness from `seed`, never from shared mutable
+// state or host time.
 
 #include <cstdint>
 #include <optional>

@@ -130,13 +130,12 @@ Property Property::respond(std::string name, Expr p, Expr q, int within) {
 namespace {
 
 Counterexample extract_counterexample(const rtl::Netlist& netlist, sat::Solver& solver,
-                                      const std::vector<rtl::Frame>& frames,
-                                      int last_frame) {
+                                      rtl::CnfEncoder& encoder, int last_frame) {
   Counterexample cex;
-  for (int f = 0; f <= last_frame && f < static_cast<int>(frames.size()); ++f) {
+  for (int f = 0; f <= last_frame && f < static_cast<int>(encoder.frame_count()); ++f) {
     std::map<std::string, bool> values;
     for (const rtl::Net in : netlist.inputs()) {
-      const Lit l = frames[static_cast<std::size_t>(f)].lit(in);
+      const Lit l = encoder.frame(static_cast<std::size_t>(f)).lit(in);
       values[netlist.net_name(in)] = solver.model_value(l.var()) != l.negated();
     }
     cex.inputs.push_back(std::move(values));
@@ -155,105 +154,107 @@ CheckResult ModelChecker::check_with_faults(const Property& property,
                                             Options options) const {
   CheckResult result;
 
-  // ---------------- BMC from reset --------------------------------------
-  {
-    sat::Solver solver;
-    rtl::CnfEncoder encoder{*netlist_, solver};
-    std::vector<rtl::Frame> frames;
-    const int horizon = options.max_bound +
-                        (property.kind == PropertyKind::bounded_response
-                             ? property.response_bound
-                             : 1);
-    for (int f = 0; f <= horizon; ++f) {
-      rtl::CnfEncoder::Options opts;
-      opts.state = f == 0 ? rtl::StateInit::reset : rtl::StateInit::chained;
-      if (f > 0) opts.previous = &frames.back();
-      if (!faults.empty()) opts.faults = &faults;
-      frames.push_back(encoder.encode(opts));
-    }
+  // One solver and one lazily-grown frame chain serve every BMC bound and
+  // the k-induction step. Assuming `act_reset` pins frame 0 to the reset
+  // state (BMC); leaving it free makes frame 0 an arbitrary state
+  // (induction). Learned clauses persist across all solves.
+  sat::Solver solver;
+  rtl::CnfEncoder encoder{*netlist_, solver};
+  const Lit act_reset = Lit::positive(solver.new_var());
+  rtl::CnfEncoder::ChainOptions chain;
+  chain.first_state = rtl::StateInit::reset;
+  chain.conditional_reset = act_reset;
+  if (!faults.empty()) chain.faults = &faults;
+  encoder.begin_chain(chain);
 
-    for (int i = 0; i <= options.max_bound; ++i) {
-      std::vector<Lit> assumptions;
-      int last = i;
-      switch (property.kind) {
-        case PropertyKind::invariant:
-          assumptions.push_back(
-              ~property.antecedent.encode(encoder, frames[static_cast<std::size_t>(i)]));
-          break;
-        case PropertyKind::next_implication:
-          assumptions.push_back(
-              property.antecedent.encode(encoder, frames[static_cast<std::size_t>(i)]));
+  // ---------------- BMC from reset --------------------------------------
+  for (int i = 0; i <= options.max_bound; ++i) {
+    std::vector<Lit> assumptions{act_reset};
+    int last = i;
+    switch (property.kind) {
+      case PropertyKind::invariant:
+        assumptions.push_back(~property.antecedent.encode(
+            encoder, encoder.frame(static_cast<std::size_t>(i))));
+        break;
+      case PropertyKind::next_implication:
+        // Encode the deeper frame first: `frame` can reallocate the chain,
+        // invalidating a Frame reference taken before the call.
+        (void)encoder.frame(static_cast<std::size_t>(i + 1));
+        assumptions.push_back(property.antecedent.encode(
+            encoder, encoder.frame(static_cast<std::size_t>(i))));
+        assumptions.push_back(~property.consequent.encode(
+            encoder, encoder.frame(static_cast<std::size_t>(i + 1))));
+        last = i + 1;
+        break;
+      case PropertyKind::bounded_response:
+        (void)encoder.frame(static_cast<std::size_t>(i + property.response_bound));
+        assumptions.push_back(property.antecedent.encode(
+            encoder, encoder.frame(static_cast<std::size_t>(i))));
+        for (int d = 0; d <= property.response_bound; ++d) {
           assumptions.push_back(~property.consequent.encode(
-              encoder, frames[static_cast<std::size_t>(i + 1)]));
-          last = i + 1;
-          break;
-        case PropertyKind::bounded_response:
-          assumptions.push_back(
-              property.antecedent.encode(encoder, frames[static_cast<std::size_t>(i)]));
-          for (int d = 0; d <= property.response_bound; ++d) {
-            assumptions.push_back(~property.consequent.encode(
-                encoder, frames[static_cast<std::size_t>(i + d)]));
-          }
-          last = i + property.response_bound;
-          break;
-      }
-      if (solver.solve(assumptions) == sat::Result::sat) {
-        result.status = CheckStatus::falsified;
-        result.bound_used = i;
-        result.counterexample = extract_counterexample(*netlist_, solver, frames, last);
-        result.sat_conflicts = solver.statistics().conflicts;
-        return result;
-      }
+              encoder, encoder.frame(static_cast<std::size_t>(i + d))));
+        }
+        last = i + property.response_bound;
+        break;
     }
-    result.sat_conflicts = solver.statistics().conflicts;
-    result.bound_used = options.max_bound;
+    const bool sat_at_bound = solver.solve(assumptions) == sat::Result::sat;
+    const std::uint64_t delta = solver.last_solve_statistics().conflicts;
+    result.bound_conflicts.push_back(delta);
+    result.total_sat_conflicts += delta;
+    if (sat_at_bound) {
+      result.status = CheckStatus::falsified;
+      result.bound_used = i;
+      result.sat_conflicts = delta;
+      result.counterexample = extract_counterexample(*netlist_, solver, encoder, last);
+      return result;
+    }
   }
+  result.bound_used = options.max_bound;
+  // bound_conflicts is empty when max_bound < 0 (degenerate but legal).
+  result.sat_conflicts =
+      result.bound_conflicts.empty() ? 0 : result.bound_conflicts.back();
 
   // ---------------- k-induction (safety forms only) ---------------------
   if (property.kind == PropertyKind::bounded_response) {
     result.status = CheckStatus::no_cex_within_bound;
     return result;
   }
-  {
-    sat::Solver solver;
-    rtl::CnfEncoder encoder{*netlist_, solver};
-    const int k = options.induction_depth;
-    std::vector<rtl::Frame> frames;
-    for (int f = 0; f <= k + 1; ++f) {
-      rtl::CnfEncoder::Options opts;
-      opts.state = f == 0 ? rtl::StateInit::free_state : rtl::StateInit::chained;
-      if (f > 0) opts.previous = &frames.back();
-      if (!faults.empty()) opts.faults = &faults;
-      frames.push_back(encoder.encode(opts));
-    }
-    auto holds_at = [&](int f) -> Lit {
-      const auto& frame = frames[static_cast<std::size_t>(f)];
-      switch (property.kind) {
-        case PropertyKind::invariant: return property.antecedent.encode(encoder, frame);
-        case PropertyKind::next_implication: {
-          const Lit p = property.antecedent.encode(encoder, frame);
-          const Lit q = property.consequent.encode(
-              encoder, frames[static_cast<std::size_t>(f + 1)]);
-          // r = p -> q
-          const Lit r = Lit::positive(solver.new_var());
-          solver.add_ternary(~r, ~p, q);
-          solver.add_binary(r, p);
-          solver.add_binary(r, ~q);
-          return r;
-        }
-        default: break;
+  const int k = options.induction_depth;
+  auto holds_at = [&](int f) -> Lit {
+    switch (property.kind) {
+      case PropertyKind::invariant:
+        return property.antecedent.encode(encoder,
+                                          encoder.frame(static_cast<std::size_t>(f)));
+      case PropertyKind::next_implication: {
+        (void)encoder.frame(static_cast<std::size_t>(f + 1));
+        const Lit p = property.antecedent.encode(
+            encoder, encoder.frame(static_cast<std::size_t>(f)));
+        const Lit q = property.consequent.encode(
+            encoder, encoder.frame(static_cast<std::size_t>(f + 1)));
+        // r = p -> q
+        const Lit r = Lit::positive(solver.new_var());
+        solver.add_ternary(~r, ~p, q);
+        solver.add_binary(r, p);
+        solver.add_binary(r, ~q);
+        return r;
       }
-      throw std::logic_error{"mc: unreachable"};
-    };
-    // Assume the property on frames 0..k-1, refute it at frame k.
-    for (int f = 0; f < k; ++f) solver.add_unit(holds_at(f));
-    const Lit final_holds = holds_at(k);
-    if (solver.solve({~final_holds}) == sat::Result::unsat) {
-      result.status = CheckStatus::proved;
-    } else {
-      result.status = CheckStatus::no_cex_within_bound;
+      default: break;
     }
-    result.sat_conflicts += solver.statistics().conflicts;
+    throw std::logic_error{"mc: unreachable"};
+  };
+  // Assume the property on frames 0..k-1 and refute it at frame k, with
+  // the initial state left free (act_reset not assumed).
+  std::vector<Lit> assumptions;
+  for (int f = 0; f < k; ++f) assumptions.push_back(holds_at(f));
+  assumptions.push_back(~holds_at(k));
+  const bool induction_closed = solver.solve(assumptions) == sat::Result::unsat;
+  result.induction_conflicts = solver.last_solve_statistics().conflicts;
+  result.total_sat_conflicts += result.induction_conflicts;
+  if (induction_closed) {
+    result.status = CheckStatus::proved;
+    result.sat_conflicts = result.induction_conflicts;
+  } else {
+    result.status = CheckStatus::no_cex_within_bound;
   }
   return result;
 }

@@ -10,7 +10,15 @@
 // frames from the reset state) and k-induction (for proofs of the two
 // safety forms). Bounded response is falsified by BMC and otherwise
 // reported as clean up to the bound.
+//
+// The BMC unrolling is lazy and incremental: one long-lived SAT solver
+// serves every bound, transition frames are encoded only when a bound
+// needs them, and the k-induction step reuses the same solver — the reset
+// state is pinned behind an activation literal that BMC assumes and the
+// induction step leaves free. Learned clauses therefore carry over from
+// bound i to bound i+1 and into the induction solve.
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -77,7 +85,18 @@ struct CheckResult {
   CheckStatus status = CheckStatus::no_cex_within_bound;
   int bound_used = 0;
   std::optional<Counterexample> counterexample;
+  /// Conflicts of the *decisive* solve alone: the falsifying bound's solve
+  /// when falsified, the induction solve when proved, else the deepest
+  /// bound's solve. A per-solve delta — comparable across bounds — not the
+  /// cumulative figure the engine used to report (which was meaningless
+  /// for, say, a property failing at bound 0 of a deep unrolling).
   std::uint64_t sat_conflicts = 0;
+  /// Per-bound deltas: bound_conflicts[i] = conflicts spent on bound i.
+  std::vector<std::uint64_t> bound_conflicts;
+  /// Conflicts of the k-induction solve (0 when induction did not run).
+  std::uint64_t induction_conflicts = 0;
+  /// Sum over every solve this check issued.
+  std::uint64_t total_sat_conflicts = 0;
 };
 
 class ModelChecker {

@@ -28,6 +28,18 @@ Frame CnfEncoder::encode(const Options& options) {
   const Lit lit_true = true_lit();
   const Lit lit_false = ~lit_true;
 
+  // Clause gating: with an activation literal, every clause carries the
+  // extra disjunct ~activation so the frame only binds while the literal is
+  // assumed true (and dies when ~activation is added as a unit).
+  const bool gated = options.activation.valid();
+  const Lit gate = gated ? ~options.activation : Lit{};
+  auto emit2 = [&](Lit x, Lit y) {
+    gated ? s.add_ternary(gate, x, y) : s.add_binary(x, y);
+  };
+  auto emit3 = [&](Lit x, Lit y, Lit z) {
+    gated ? s.add_clause({gate, x, y, z}) : s.add_ternary(x, y, z);
+  };
+
   Frame frame;
   frame.lits.resize(netlist_->gate_count());
 
@@ -36,10 +48,22 @@ Frame CnfEncoder::encode(const Options& options) {
   const auto& dffs = netlist_->flip_flops();
   (void)dffs;
 
+  if ((options.cone == nullptr) != (options.reuse_base == nullptr)) {
+    throw std::invalid_argument{"cnf: cone and reuse_base must be set together"};
+  }
+
   for (std::size_t i = 0; i < netlist_->gate_count(); ++i) {
     const Net net = static_cast<Net>(i);
     const Gate& g = netlist_->gate(net);
     Lit out;
+    // Outside the fault cone the copy behaves identically to the base
+    // frame, so its literal is simply reused — no variables, no clauses.
+    if (options.cone != nullptr && (*options.cone)[i] == 0) {
+      frame.lits[i] = options.reuse_base->lits[i];
+      if (g.kind == GateKind::input) ++input_slot;
+      if (g.kind == GateKind::dff) ++dff_slot;
+      continue;
+    }
     // Fault overrides replace the gate's function entirely.
     if (options.faults != nullptr) {
       const auto it = options.faults->find(net);
@@ -69,28 +93,28 @@ Frame CnfEncoder::encode(const Options& options) {
         const Lit a = frame.lits[static_cast<std::size_t>(g.a)];
         const Lit b = frame.lits[static_cast<std::size_t>(g.b)];
         out = Lit::positive(s.new_var());
-        s.add_binary(~out, a);
-        s.add_binary(~out, b);
-        s.add_ternary(out, ~a, ~b);
+        emit2(~out, a);
+        emit2(~out, b);
+        emit3(out, ~a, ~b);
         break;
       }
       case GateKind::or_gate: {
         const Lit a = frame.lits[static_cast<std::size_t>(g.a)];
         const Lit b = frame.lits[static_cast<std::size_t>(g.b)];
         out = Lit::positive(s.new_var());
-        s.add_binary(out, ~a);
-        s.add_binary(out, ~b);
-        s.add_ternary(~out, a, b);
+        emit2(out, ~a);
+        emit2(out, ~b);
+        emit3(~out, a, b);
         break;
       }
       case GateKind::xor_gate: {
         const Lit a = frame.lits[static_cast<std::size_t>(g.a)];
         const Lit b = frame.lits[static_cast<std::size_t>(g.b)];
         out = Lit::positive(s.new_var());
-        s.add_ternary(~out, a, b);
-        s.add_ternary(~out, ~a, ~b);
-        s.add_ternary(out, ~a, b);
-        s.add_ternary(out, a, ~b);
+        emit3(~out, a, b);
+        emit3(~out, ~a, ~b);
+        emit3(out, ~a, b);
+        emit3(out, a, ~b);
         break;
       }
       case GateKind::mux: {
@@ -98,10 +122,10 @@ Frame CnfEncoder::encode(const Options& options) {
         const Lit t = frame.lits[static_cast<std::size_t>(g.b)];
         const Lit e = frame.lits[static_cast<std::size_t>(g.c)];
         out = Lit::positive(s.new_var());
-        s.add_ternary(~sel, ~t, out);
-        s.add_ternary(~sel, t, ~out);
-        s.add_ternary(sel, ~e, out);
-        s.add_ternary(sel, e, ~out);
+        emit3(~sel, ~t, out);
+        emit3(~sel, t, ~out);
+        emit3(sel, ~e, out);
+        emit3(sel, e, ~out);
         break;
       }
       case GateKind::dff: {
@@ -119,6 +143,49 @@ Frame CnfEncoder::encode(const Options& options) {
     frame.lits[i] = out;
   }
   return frame;
+}
+
+void CnfEncoder::begin_chain(const ChainOptions& options) {
+  chain_opts_ = options;
+  chain_.clear();
+  chain_started_ = true;
+}
+
+std::size_t CnfEncoder::push_frame() {
+  if (!chain_started_) {
+    throw std::logic_error{"cnf: push_frame before begin_chain"};
+  }
+  auto& s = *solver_;
+  Options opts;
+  opts.faults = chain_opts_.faults;
+  if (chain_.empty()) {
+    const bool conditional = chain_opts_.conditional_reset.valid() &&
+                             chain_opts_.first_state == StateInit::reset;
+    opts.state = conditional ? StateInit::free_state : chain_opts_.first_state;
+    Frame frame = encode(opts);
+    if (conditional) {
+      // Pin the reset values behind the activation literal: assumed true
+      // they force frame 0 to reset (BMC); left free they leave the state
+      // unconstrained (k-induction base of the same solver).
+      const Lit gate = ~chain_opts_.conditional_reset;
+      for (const Net d : netlist_->flip_flops()) {
+        if (chain_opts_.faults != nullptr && chain_opts_.faults->contains(d)) continue;
+        const Lit state_lit = frame.lit(d);
+        s.add_binary(gate, netlist_->gate(d).init ? state_lit : ~state_lit);
+      }
+    }
+    chain_.push_back(std::move(frame));
+  } else {
+    opts.state = StateInit::chained;
+    opts.previous = &chain_.back();
+    chain_.push_back(encode(opts));
+  }
+  return chain_.size() - 1;
+}
+
+const Frame& CnfEncoder::frame(std::size_t k) {
+  while (chain_.size() <= k) (void)push_frame();
+  return chain_[k];
 }
 
 }  // namespace symbad::rtl

@@ -5,6 +5,16 @@
 // k-induction and SAT-based ATPG. A `Frame` maps every net of a netlist at
 // one point in time to a SAT literal; frames chain through flip-flops
 // (frame k+1's state literals are frame k's next-state literals).
+//
+// Two usage styles:
+//  * `encode(Options)` — one frame at a time, caller owns the chaining
+//    (the ATPG miter encodes good/faulty copies side by side this way).
+//  * `begin_chain` / `push_frame` / `frame(k)` — incremental unrolling for
+//    lazy BMC: the encoder owns one frame chain and appends transition
+//    clauses on demand, so bound i pays only for frames 0..i. With
+//    `ChainOptions::conditional_reset` the reset values are pinned behind
+//    an activation literal, letting a single long-lived solver serve both
+//    BMC (assume the literal) and k-induction (leave it free).
 
 #include <map>
 #include <optional>
@@ -41,10 +51,47 @@ public:
     const std::vector<sat::Lit>* shared_inputs = nullptr;
     /// Stuck-at fault overrides: net -> forced value.
     const std::map<Net, bool>* faults = nullptr;
+    /// Cone-of-influence sharing (ATPG miters): nets with (*cone)[net] == 0
+    /// are not encoded at all — their literals are copied from
+    /// `reuse_base`, the matching frame of the good copy. Only the fault's
+    /// fanout cone pays for fresh variables and clauses. Both set or both
+    /// null; `cone` is indexed by net like the netlist.
+    const std::vector<char>* cone = nullptr;
+    const Frame* reuse_base = nullptr;
+    /// When valid, every emitted clause gets ~activation appended: the
+    /// frame's logic constrains the solver only while `activation` is
+    /// assumed true, and adding the unit clause ~activation later retires
+    /// the whole frame (its clauses become permanently satisfied and drop
+    /// out of watch propagation). Incremental multi-fault ATPG encodes each
+    /// per-fault miter behind such a literal.
+    sat::Lit activation{};
   };
 
   /// Encodes one time frame; adds Tseitin clauses to the solver.
   [[nodiscard]] Frame encode(const Options& options);
+
+  // ------------------------------------------------- incremental chain
+  struct ChainOptions {
+    StateInit first_state = StateInit::reset;
+    /// Stuck-at fault overrides applied to every frame of the chain.
+    const std::map<Net, bool>* faults = nullptr;
+    /// When valid (and first_state == reset), frame-0 flip-flops become
+    /// free variables whose reset values are enforced only while this
+    /// literal is assumed true.
+    sat::Lit conditional_reset{};
+  };
+
+  /// Starts (or restarts) the incremental frame chain. Invalidates frames
+  /// previously returned by `push_frame`/`frame` but adds no clauses for
+  /// them — chains share one solver, so restarting mid-solve is a caller
+  /// bug; use one chain per encoder.
+  void begin_chain(const ChainOptions& options);
+  /// Appends one frame to the chain and returns its index.
+  std::size_t push_frame();
+  /// The chain frame at index k; encodes lazily up to k. The reference is
+  /// invalidated by the next push_frame/frame call that grows the chain.
+  [[nodiscard]] const Frame& frame(std::size_t k);
+  [[nodiscard]] std::size_t frame_count() const noexcept { return chain_.size(); }
 
   /// Literal that is always true (for building custom constraints).
   [[nodiscard]] sat::Lit true_lit();
@@ -56,6 +103,9 @@ private:
   const Netlist* netlist_;
   sat::Solver* solver_;
   std::optional<sat::Lit> true_lit_;
+  ChainOptions chain_opts_{};
+  std::vector<Frame> chain_;
+  bool chain_started_ = false;
 };
 
 }  // namespace symbad::rtl

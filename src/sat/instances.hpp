@@ -1,0 +1,47 @@
+#pragma once
+// Canonical CNF instance generators for exercising the SAT engine —
+// shared by the solver's tests and benchmarks so both stress the same
+// families (and the gating convention cannot drift between them).
+
+#include <utility>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace symbad::sat {
+
+/// Pigeonhole PHP(holes+1, holes): put holes+1 pigeons into `holes` holes —
+/// the classic conflict-heavy UNSAT family (resolution proofs are
+/// exponential in `holes`). With a valid `gate` literal every clause gets
+/// `gate` appended, so the contradiction binds only while ~gate is assumed
+/// and the solver stays reusable across incremental solves.
+inline void add_pigeonhole(Solver& solver, int holes, Lit gate = Lit{}) {
+  const int pigeons = holes + 1;
+  std::vector<std::vector<Var>> x(static_cast<std::size_t>(pigeons),
+                                  std::vector<Var>(static_cast<std::size_t>(holes)));
+  for (auto& row : x) {
+    for (auto& v : row) v = solver.new_var();
+  }
+  auto add = [&](std::vector<Lit> clause) {
+    if (gate.valid()) clause.push_back(gate);
+    solver.add_clause(clause);
+  };
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) {
+      clause.push_back(
+          Lit::positive(x[static_cast<std::size_t>(p)][static_cast<std::size_t>(h)]));
+    }
+    add(std::move(clause));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        add({Lit::negative(x[static_cast<std::size_t>(p1)][static_cast<std::size_t>(h)]),
+             Lit::negative(x[static_cast<std::size_t>(p2)][static_cast<std::size_t>(h)])});
+      }
+    }
+  }
+}
+
+}  // namespace symbad::sat

@@ -25,11 +25,45 @@ std::uint64_t luby(std::uint64_t i) {
   return std::uint64_t{1} << seq;
 }
 
+Solver::Statistics operator-(const Solver::Statistics& a, const Solver::Statistics& b) {
+  Solver::Statistics d;
+  d.decisions = a.decisions - b.decisions;
+  d.propagations = a.propagations - b.propagations;
+  d.conflicts = a.conflicts - b.conflicts;
+  d.restarts = a.restarts - b.restarts;
+  d.learned_clauses = a.learned_clauses - b.learned_clauses;
+  d.db_reductions = a.db_reductions - b.db_reductions;
+  d.learned_removed = a.learned_removed - b.learned_removed;
+  return d;
+}
+
 }  // namespace
 
 struct Clause {
-  std::vector<Lit> lits;
+  /// Tseitin clauses are <= 4 literals and dominate the database by count;
+  /// storing them inline makes clause construction a single allocation and
+  /// keeps propagation off a second cache line.
+  static constexpr std::uint32_t kInline = 8;
+
+  std::uint32_t size = 0;
+  std::uint32_t lbd = 0;       ///< glue: distinct decision levels at learning time
   bool learned = false;
+  bool used_recently = false;  ///< touched by conflict analysis since last reduction
+  bool deleted = false;        ///< marked by reduce_db, erased right after
+  Lit inline_lits[kInline];
+  std::unique_ptr<Lit[]> heap_lits;  ///< used when size > kInline
+
+  [[nodiscard]] Lit* lits() noexcept { return heap_lits ? heap_lits.get() : inline_lits; }
+  [[nodiscard]] const Lit* lits() const noexcept {
+    return heap_lits ? heap_lits.get() : inline_lits;
+  }
+  [[nodiscard]] std::span<const Lit> span() const noexcept { return {lits(), size}; }
+
+  void assign(const Lit* src, std::uint32_t n) {
+    size = n;
+    if (n > kInline) heap_lits = std::make_unique<Lit[]>(n);
+    std::copy(src, src + n, lits());
+  }
 };
 
 struct Solver::Impl {
@@ -37,15 +71,26 @@ struct Solver::Impl {
     Clause* clause = nullptr;
     Lit blocker;
   };
+  /// Binary clauses get their own watch structure: the other literal is
+  /// stored inline, so propagation over them never touches clause memory
+  /// and the lists are never reshuffled.
+  struct BinWatcher {
+    Lit other;
+    Clause* clause = nullptr;
+  };
 
-  std::vector<std::unique_ptr<Clause>> clauses;
-  std::vector<std::vector<Watcher>> watches;  // index: literal that became false
+  std::vector<std::unique_ptr<Clause>> clauses;  // problem clauses (add_clause)
+  std::vector<std::unique_ptr<Clause>> learned;  // conflict-learned, reducible
+  std::vector<std::vector<Watcher>> watches;        // index: literal that became false
+  std::vector<std::vector<BinWatcher>> bin_watches; // same indexing, size-2 clauses
   std::vector<Value> assigns;
   std::vector<bool> phase;       // saved phase per var
   std::vector<int> level;
   std::vector<Clause*> reason;
   std::vector<double> activity;
   std::vector<char> seen;
+  std::vector<std::uint32_t> level_stamp;  // per-level scratch for LBD counting
+  std::uint32_t lbd_stamp = 0;
   std::vector<Lit> trail;
   std::vector<int> trail_lim;
   std::size_t qhead = 0;
@@ -53,6 +98,11 @@ struct Solver::Impl {
   static constexpr double kVarDecay = 0.95;
   bool ok = true;
   Statistics stats;
+  Statistics last_solve_delta;
+  ReduceOptions reduce_opts;
+  std::size_t learned_live = 0;  ///< learned clauses currently in the DB
+  std::size_t learned_long = 0;  ///< learned clauses of size >= 3 (reducible)
+  std::uint64_t last_reduce_conflicts = ~std::uint64_t{0};
   std::uint64_t conflict_budget = 0;
   std::vector<bool> model;
 
@@ -131,8 +181,37 @@ struct Solver::Impl {
   void decay() noexcept { var_inc /= kVarDecay; }
 
   void attach(Clause* c) {
-    watches[static_cast<std::size_t>(c->lits[0].index())].push_back(Watcher{c, c->lits[1]});
-    watches[static_cast<std::size_t>(c->lits[1].index())].push_back(Watcher{c, c->lits[0]});
+    Lit* l = c->lits();
+    if (c->size == 2) {
+      bin_watches[static_cast<std::size_t>(l[0].index())].push_back(BinWatcher{l[1], c});
+      bin_watches[static_cast<std::size_t>(l[1].index())].push_back(BinWatcher{l[0], c});
+      return;
+    }
+    watches[static_cast<std::size_t>(l[0].index())].push_back(Watcher{c, l[1]});
+    watches[static_cast<std::size_t>(l[1].index())].push_back(Watcher{c, l[0]});
+  }
+
+  /// Removes the (size >= 3) clause from both watch lists it occupies.
+  /// `propagate` keeps lits[0]/lits[1] as the watched pair at all times.
+  void detach(Clause* c) {
+    for (int w = 0; w < 2; ++w) {
+      auto& ws = watches[static_cast<std::size_t>(c->lits()[w].index())];
+      for (auto& entry : ws) {
+        if (entry.clause == c) {
+          entry = ws.back();
+          ws.pop_back();
+          break;
+        }
+      }
+    }
+  }
+
+  /// A clause that is the reason of its asserting (first) literal cannot be
+  /// removed while that literal is assigned.
+  [[nodiscard]] bool locked(const Clause* c) const noexcept {
+    const Var v = c->lits()[0].var();
+    return reason[static_cast<std::size_t>(v)] == c &&
+           assigns[static_cast<std::size_t>(v)] != Value::undef;
   }
 
   void enqueue(Lit p, Clause* from) {
@@ -150,6 +229,18 @@ struct Solver::Impl {
       const Lit p = trail[qhead++];
       ++stats.propagations;
       const Lit fl = ~p;  // literal that just became false
+      // Binary clauses first: cheap, and they find conflicts early.
+      for (const BinWatcher& bw : bin_watches[static_cast<std::size_t>(fl.index())]) {
+        const Value v = lit_value(bw.other);
+        if (v == Value::true_value) continue;
+        if (v == Value::false_value) {
+          conflict = bw.clause;
+          qhead = trail.size();
+          break;
+        }
+        enqueue(bw.other, bw.clause);
+      }
+      if (conflict != nullptr) break;
       auto& ws = watches[static_cast<std::size_t>(fl.index())];
       std::size_t i = 0;
       std::size_t j = 0;
@@ -160,19 +251,20 @@ struct Solver::Impl {
           continue;
         }
         Clause& c = *w.clause;
-        if (c.lits[0] == fl) std::swap(c.lits[0], c.lits[1]);
-        // invariant: c.lits[1] == fl
-        const Lit first = c.lits[0];
+        Lit* cl = c.lits();
+        if (cl[0] == fl) std::swap(cl[0], cl[1]);
+        // invariant: cl[1] == fl
+        const Lit first = cl[0];
         if (lit_value(first) == Value::true_value) {
           ws[j++] = Watcher{w.clause, first};
           ++i;
           continue;
         }
         bool moved = false;
-        for (std::size_t k = 2; k < c.lits.size(); ++k) {
-          if (lit_value(c.lits[k]) != Value::false_value) {
-            std::swap(c.lits[1], c.lits[k]);
-            watches[static_cast<std::size_t>(c.lits[1].index())].push_back(
+        for (std::size_t k = 2; k < c.size; ++k) {
+          if (lit_value(cl[k]) != Value::false_value) {
+            std::swap(cl[1], cl[k]);
+            watches[static_cast<std::size_t>(cl[1].index())].push_back(
                 Watcher{w.clause, first});
             moved = true;
             break;
@@ -209,7 +301,8 @@ struct Solver::Impl {
     std::size_t index = trail.size();
 
     for (;;) {
-      for (const Lit q : conflict->lits) {
+      conflict->used_recently = true;
+      for (const Lit q : conflict->span()) {
         if (p.valid() && q == p) continue;
         const Var v = q.var();
         if (seen[static_cast<std::size_t>(v)] == 0 &&
@@ -250,6 +343,21 @@ struct Solver::Impl {
     for (const Var v : to_clear) seen[static_cast<std::size_t>(v)] = 0;
   }
 
+  /// Number of distinct decision levels in the learnt clause ("glue").
+  [[nodiscard]] std::uint32_t compute_lbd(const std::vector<Lit>& learnt) {
+    ++lbd_stamp;
+    std::uint32_t count = 0;
+    for (const Lit l : learnt) {
+      const auto lv = static_cast<std::size_t>(level[static_cast<std::size_t>(l.var())]);
+      if (lv >= level_stamp.size()) level_stamp.resize(lv + 1, 0);
+      if (level_stamp[lv] != lbd_stamp) {
+        level_stamp[lv] = lbd_stamp;
+        ++count;
+      }
+    }
+    return count;
+  }
+
   void backtrack(int target_level) {
     if (decision_level() <= target_level) return;
     const std::size_t bound =
@@ -266,6 +374,52 @@ struct Solver::Impl {
     qhead = bound;
   }
 
+  // --------------------------------------------------------- reduce DB
+  /// Deletes the worst half of the removable learned clauses: size >= 3,
+  /// glue above keep_lbd, not locked as a reason, not used by conflict
+  /// analysis since the previous reduction (those get one pass of grace).
+  /// Must run at decision level 0 so reasons above the root are gone.
+  /// Learned clauses live in their own vector, so the pass never touches
+  /// the (much larger) problem-clause database.
+  void reduce_db() {
+    ++stats.db_reductions;
+    last_reduce_conflicts = stats.conflicts;
+    std::vector<Clause*> candidates;
+    for (const auto& up : learned) {
+      Clause* c = up.get();
+      if (!c->learned || c->size < 3) continue;
+      if (c->lbd <= reduce_opts.keep_lbd) continue;
+      if (locked(c)) continue;
+      if (c->used_recently) {
+        c->used_recently = false;
+        continue;
+      }
+      candidates.push_back(c);
+    }
+    // Deterministic order: stable sort, ties kept in clause-DB order.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Clause* a, const Clause* b) {
+                       if (a->lbd != b->lbd) return a->lbd > b->lbd;
+                       return a->size > b->size;
+                     });
+    const std::size_t to_remove = candidates.size() / 2;
+    for (std::size_t i = 0; i < to_remove; ++i) {
+      Clause* c = candidates[i];
+      detach(c);
+      c->deleted = true;
+      --learned_live;
+      --learned_long;
+      ++stats.learned_removed;
+    }
+    if (to_remove > 0) {
+      std::erase_if(learned, [](const std::unique_ptr<Clause>& c) { return c->deleted; });
+    }
+  }
+
+  [[nodiscard]] std::uint64_t reduce_limit() const noexcept {
+    return reduce_opts.base + stats.db_reductions * reduce_opts.increment;
+  }
+
   // ------------------------------------------------------------ search
   Result search(std::span<const Lit> assumptions) {
     const std::uint64_t start_conflicts = stats.conflicts;
@@ -279,7 +433,14 @@ struct Solver::Impl {
       if (conflict != nullptr) {
         ++stats.conflicts;
         ++conflicts_since_restart;
-        if (decision_level() == 0) return Result::unsat;
+        if (decision_level() == 0) {
+          // Root conflict: the formula itself is contradictory, independent
+          // of any assumptions. Without clearing `ok`, a later incremental
+          // solve would skip the already-propagated root trail (qhead) and
+          // could fabricate a model over the contradictory formula.
+          ok = false;
+          return Result::unsat;
+        }
         int bt_level = 0;
         analyze(conflict, learnt, bt_level);
         backtrack(bt_level);
@@ -287,11 +448,15 @@ struct Solver::Impl {
           enqueue(learnt[0], nullptr);
         } else {
           auto clause = std::make_unique<Clause>();
-          clause->lits = learnt;
+          clause->assign(learnt.data(), static_cast<std::uint32_t>(learnt.size()));
           clause->learned = true;
+          clause->lbd = compute_lbd(learnt);
+          clause->used_recently = true;
           attach(clause.get());
           enqueue(learnt[0], clause.get());
-          clauses.push_back(std::move(clause));
+          ++learned_live;
+          if (clause->size >= 3) ++learned_long;
+          learned.push_back(std::move(clause));
           ++stats.learned_clauses;
         }
         decay();
@@ -301,6 +466,14 @@ struct Solver::Impl {
           return Result::unknown;
         }
       } else {
+        if (reduce_opts.enabled && learned_long >= reduce_limit() &&
+            stats.conflicts != last_reduce_conflicts) {
+          // Restart to the root so no reason above level 0 pins a clause,
+          // then shrink the learned DB. Assumptions re-assert below.
+          backtrack(0);
+          reduce_db();
+          continue;
+        }
         if (conflicts_since_restart >= restart_limit &&
             decision_level() > static_cast<int>(assumptions.size())) {
           ++stats.restarts;
@@ -362,6 +535,8 @@ Var Solver::new_var() {
   s.seen.push_back(0);
   s.watches.emplace_back();
   s.watches.emplace_back();
+  s.bin_watches.emplace_back();
+  s.bin_watches.emplace_back();
   s.heap_pos.push_back(-1);
   s.heap_insert(v);
   return v;
@@ -377,32 +552,58 @@ bool Solver::add_clause(std::span<const Lit> literals) {
   if (s.decision_level() != 0) {
     throw std::logic_error{"sat: add_clause during search"};
   }
-  std::vector<Lit> lits(literals.begin(), literals.end());
-  for (const Lit l : lits) {
+  // Tseitin encoding calls this with millions of <= 4-literal clauses, so
+  // sort + simplify run in a stack buffer (insertion sort, tiny N) and heap
+  // allocation happens only for the surviving clause.
+  constexpr std::size_t kSmall = 16;
+  Lit small[kSmall];
+  std::vector<Lit> large;
+  Lit* lits = small;
+  if (literals.size() > kSmall) {
+    large.assign(literals.begin(), literals.end());
+    lits = large.data();
+  } else {
+    std::copy(literals.begin(), literals.end(), small);
+  }
+  const std::size_t n = literals.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Lit l = lits[i];
     if (!l.valid() || l.var() >= variable_count()) {
       throw std::out_of_range{"sat: clause references unknown variable"};
     }
   }
-  std::sort(lits.begin(), lits.end(),
-            [](Lit a, Lit b) { return a.index() < b.index(); });
+  if (n <= kSmall) {
+    // Insertion sort: optimal for the <= 4-literal Tseitin fast path.
+    for (std::size_t i = 1; i < n; ++i) {
+      const Lit l = lits[i];
+      std::size_t j = i;
+      while (j > 0 && lits[j - 1].index() > l.index()) {
+        lits[j] = lits[j - 1];
+        --j;
+      }
+      lits[j] = l;
+    }
+  } else {
+    std::sort(lits, lits + n, [](Lit a, Lit b) { return a.index() < b.index(); });
+  }
   // Simplify: drop duplicates / root-false literals; detect tautology and
   // root-satisfied clauses.
-  std::vector<Lit> out;
-  for (std::size_t i = 0; i < lits.size(); ++i) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
     const Lit l = lits[i];
-    if (!out.empty() && out.back() == l) continue;
-    if (!out.empty() && out.back() == ~l) return true;  // tautology
+    if (count > 0 && lits[count - 1] == l) continue;
+    if (count > 0 && lits[count - 1] == ~l) return true;  // tautology
     const Value v = s.lit_value(l);
     if (v == Value::true_value) return true;  // already satisfied at root
     if (v == Value::false_value) continue;    // root-false literal dropped
-    out.push_back(l);
+    lits[count++] = l;
   }
-  if (out.empty()) {
+  if (count == 0) {
     s.ok = false;
     return false;
   }
-  if (out.size() == 1) {
-    s.enqueue(out[0], nullptr);
+  if (count == 1) {
+    s.enqueue(lits[0], nullptr);
     if (s.propagate() != nullptr) {
       s.ok = false;
       return false;
@@ -410,7 +611,7 @@ bool Solver::add_clause(std::span<const Lit> literals) {
     return true;
   }
   auto clause = std::make_unique<Clause>();
-  clause->lits = std::move(out);
+  clause->assign(lits, static_cast<std::uint32_t>(count));
   s.attach(clause.get());
   s.clauses.push_back(std::move(clause));
   return true;
@@ -418,7 +619,11 @@ bool Solver::add_clause(std::span<const Lit> literals) {
 
 Result Solver::solve(std::span<const Lit> assumptions) {
   auto& s = *impl_;
-  if (!s.ok) return Result::unsat;
+  const Statistics before = s.stats;
+  if (!s.ok) {
+    s.last_solve_delta = Statistics{};
+    return Result::unsat;
+  }
   for (const Lit l : assumptions) {
     if (!l.valid() || l.var() >= variable_count()) {
       throw std::out_of_range{"sat: assumption references unknown variable"};
@@ -427,10 +632,12 @@ Result Solver::solve(std::span<const Lit> assumptions) {
   s.backtrack(0);
   if (s.propagate() != nullptr) {
     s.ok = false;
+    s.last_solve_delta = s.stats - before;
     return Result::unsat;
   }
   const Result result = s.search(assumptions);
   s.backtrack(0);
+  s.last_solve_delta = s.stats - before;
   return result;
 }
 
@@ -442,7 +649,31 @@ bool Solver::model_value(Var v) const {
   return model[static_cast<std::size_t>(v)];
 }
 
+Value Solver::root_value(Var v) const {
+  const auto& s = *impl_;
+  if (v < 0 || static_cast<std::size_t>(v) >= s.assigns.size()) {
+    throw std::out_of_range{"sat: root_value for unknown variable"};
+  }
+  const auto idx = static_cast<std::size_t>(v);
+  if (s.assigns[idx] == Value::undef || s.level[idx] != 0) return Value::undef;
+  return s.assigns[idx];
+}
+
 const Solver::Statistics& Solver::statistics() const noexcept { return impl_->stats; }
+
+const Solver::Statistics& Solver::last_solve_statistics() const noexcept {
+  return impl_->last_solve_delta;
+}
+
+std::size_t Solver::learned_clause_count() const noexcept { return impl_->learned_live; }
+
+void Solver::set_reduce_options(const ReduceOptions& options) noexcept {
+  impl_->reduce_opts = options;
+}
+
+const Solver::ReduceOptions& Solver::reduce_options() const noexcept {
+  return impl_->reduce_opts;
+}
 
 void Solver::set_conflict_budget(std::uint64_t conflicts) noexcept {
   impl_->conflict_budget = conflicts;

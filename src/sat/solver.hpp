@@ -4,9 +4,13 @@
 // This is the formal engine behind the level-4 verification step of the
 // Symbad flow (model checking via BMC / k-induction, paper §3.4) and the
 // formal test-generation engine of the ATPG (paper §3.1). Features:
-// two-watched-literal propagation, 1-UIP clause learning, VSIDS decision
-// heuristic with an indexed heap, phase saving, Luby restarts, and
-// incremental solving under assumptions.
+// two-watched-literal propagation with a dedicated binary-clause watch
+// structure, 1-UIP clause learning with LBD ("glue") tracking, periodic
+// learned-clause database reduction, VSIDS decision heuristic with an
+// indexed heap, phase saving, Luby restarts, and incremental solving under
+// assumptions (the clause database and learned clauses persist across
+// `solve` calls, which is what the lazy BMC unrolling and the multi-fault
+// ATPG engine build on).
 
 #include <cstdint>
 #include <memory>
@@ -54,7 +58,20 @@ public:
     std::uint64_t propagations = 0;
     std::uint64_t conflicts = 0;
     std::uint64_t restarts = 0;
-    std::uint64_t learned_clauses = 0;
+    std::uint64_t learned_clauses = 0;  ///< total ever learned (incl. removed)
+    std::uint64_t db_reductions = 0;    ///< learned-DB reduction passes
+    std::uint64_t learned_removed = 0;  ///< learned clauses deleted by reduction
+  };
+
+  /// Learned-clause database reduction policy. Binary learned clauses and
+  /// clauses with LBD <= keep_lbd are never removed; the rest are reduced
+  /// (worst glue first) whenever their count exceeds a limit that starts at
+  /// `base` and grows by `increment` after every reduction pass.
+  struct ReduceOptions {
+    bool enabled = true;
+    std::uint64_t base = 2000;
+    std::uint64_t increment = 500;
+    std::uint32_t keep_lbd = 2;
   };
 
   Solver();
@@ -86,7 +103,23 @@ public:
   /// Model access; only meaningful after `solve` returned `sat`.
   [[nodiscard]] bool model_value(Var v) const;
 
+  /// Value of `v` fixed at decision level 0 (by unit clauses or root
+  /// propagation), or Value::undef when the variable is still free there.
+  /// Lets incremental users pin now-unconstrained variables (e.g. a retired
+  /// ATPG miter cone) without tripping over already-implied ones.
+  [[nodiscard]] Value root_value(Var v) const;
+
   [[nodiscard]] const Statistics& statistics() const noexcept;
+  /// Counter deltas accumulated by the most recent `solve` call alone —
+  /// lets incremental callers (per-bound BMC, per-fault ATPG) report e.g.
+  /// conflicts/solve instead of a meaningless cumulative figure.
+  [[nodiscard]] const Statistics& last_solve_statistics() const noexcept;
+
+  /// Currently live learned clauses (total minus removed by reduction).
+  [[nodiscard]] std::size_t learned_clause_count() const noexcept;
+
+  void set_reduce_options(const ReduceOptions& options) noexcept;
+  [[nodiscard]] const ReduceOptions& reduce_options() const noexcept;
 
   /// Upper bound on conflicts before giving up with Result::unknown
   /// (0 = unlimited).

@@ -1,0 +1,60 @@
+#pragma once
+// Counting replacement of the global allocation operators, shared by
+// test_sim's steady-state allocation pin and bench_level2_sim's
+// `allocations` counter (the host-independent metric CI hard-gates on) so
+// the two always measure the same thing.
+//
+// IMPORTANT: this header *defines* the replaced `operator new`/`delete` at
+// global scope — include it from exactly ONE translation unit per binary
+// (it is a replacement, not an interposition; two including TUs in one
+// link would collide).
+//
+// Counting is off by default: the only steady cost is one relaxed atomic
+// load per allocation. Wrap the region of interest in arm()/disarm().
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace symbad::test_support {
+
+namespace alloc_detail {
+inline std::atomic<std::uint64_t> allocations{0};
+inline std::atomic<bool> counting{false};
+}  // namespace alloc_detail
+
+/// Starts counting allocations from zero.
+inline void arm_allocation_counter() {
+  alloc_detail::allocations.store(0);
+  alloc_detail::counting.store(true);
+}
+
+/// Stops counting and returns the number of allocations since arm().
+inline std::uint64_t disarm_allocation_counter() {
+  alloc_detail::counting.store(false);
+  return alloc_detail::allocations.load();
+}
+
+}  // namespace symbad::test_support
+
+// GCC pairs allocation/deallocation call sites once these replacements are
+// inline-visible and (wrongly) flags the malloc/free implementations as
+// mismatched against the compiler-known operator new; the pairing is
+// correct by construction here, so silence that specific diagnostic.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  namespace ad = symbad::test_support::alloc_detail;
+  if (ad::counting.load(std::memory_order_relaxed)) {
+    ad::allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop

@@ -116,6 +116,60 @@ TEST(Mc, BoundedResponse) {
   EXPECT_EQ(checker.check(ok).status, mc::CheckStatus::no_cex_within_bound);
 }
 
+TEST(Mc, ConflictCountsArePerBoundDeltas) {
+  const auto n = saturating_counter();
+  const mc::ModelChecker checker{n};
+
+  // Falsified at bound 7: one delta per bound attempted, the decisive
+  // figure is the failing bound's delta, and the total is their sum.
+  const auto falsified =
+      checker.check(mc::Property::invariant("never_max", !mc::Expr::signal("at_max")));
+  ASSERT_EQ(falsified.status, mc::CheckStatus::falsified);
+  ASSERT_EQ(falsified.bound_conflicts.size(),
+            static_cast<std::size_t>(falsified.bound_used) + 1);
+  EXPECT_EQ(falsified.sat_conflicts, falsified.bound_conflicts.back());
+  EXPECT_EQ(falsified.induction_conflicts, 0u);
+  std::uint64_t sum = 0;
+  for (const auto d : falsified.bound_conflicts) sum += d;
+  EXPECT_EQ(falsified.total_sat_conflicts, sum);
+
+  // Proved: every BMC bound contributes a delta, induction's delta is
+  // accounted separately, and the decisive figure is the induction solve's.
+  const auto proved = checker.check(mc::Property::invariant(
+      "at_max_means_all_ones",
+      mc::Expr::signal("at_max").implies(mc::Expr::signal("c[0]") &&
+                                         mc::Expr::signal("c[1]") &&
+                                         mc::Expr::signal("c[2]"))));
+  ASSERT_EQ(proved.status, mc::CheckStatus::proved);
+  EXPECT_EQ(proved.bound_conflicts.size(),
+            static_cast<std::size_t>(proved.bound_used) + 1);
+  EXPECT_EQ(proved.sat_conflicts, proved.induction_conflicts);
+  sum = 0;
+  for (const auto d : proved.bound_conflicts) sum += d;
+  EXPECT_EQ(proved.total_sat_conflicts, sum + proved.induction_conflicts);
+}
+
+TEST(Mc, CounterexampleReplaysOnSimulator) {
+  // The lazy incremental unrolling must still produce concrete traces that
+  // actually violate the property in cycle-accurate simulation.
+  const auto n = saturating_counter();
+  const mc::ModelChecker checker{n};
+  const auto result =
+      checker.check(mc::Property::invariant("never_max", !mc::Expr::signal("at_max")));
+  ASSERT_EQ(result.status, mc::CheckStatus::falsified);
+  ASSERT_TRUE(result.counterexample.has_value());
+
+  rtl::Simulator sim{n};
+  bool violated = false;
+  for (const auto& frame : result.counterexample->inputs) {
+    for (const auto& [name, value] : frame) sim.set_input(name, value);
+    sim.eval();
+    if (sim.output("at_max")) violated = true;
+    sim.step();
+  }
+  EXPECT_TRUE(violated);
+}
+
 // ------------------------------------------------------- case-study RTL
 
 TEST(RootRtl, MatchesReferenceForSampledOperands) {

@@ -386,3 +386,52 @@ TEST(Cnf, ChainedFramesModelSequentialBehaviour) {
   assumptions[0] = ~assumptions[0];
   EXPECT_EQ(solver.solve(assumptions), sat::Result::unsat);
 }
+
+TEST(CnfChain, LazyChainMatchesManualUnrolling) {
+  // The incremental chain API must model the same transition system as the
+  // hand-chained encoding: after 5 frames from reset the counter equals 5.
+  const Netlist n = make_counter(4);
+  sat::Solver solver;
+  rtl::CnfEncoder encoder{n, solver};
+  encoder.begin_chain({});
+  EXPECT_EQ(encoder.frame_count(), 0u);
+  EXPECT_EQ(encoder.push_frame(), 0u);
+  const auto& f5 = encoder.frame(5);  // lazily encodes frames 1..5
+  EXPECT_EQ(encoder.frame_count(), 6u);
+
+  const auto& dffs = n.flip_flops();
+  std::vector<sat::Lit> assumptions;
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    const sat::Lit l = f5.lit(dffs[i]);
+    assumptions.push_back(((5u >> i) & 1) != 0 ? l : ~l);
+  }
+  EXPECT_EQ(solver.solve(assumptions), sat::Result::sat);
+  assumptions[0] = ~assumptions[0];
+  EXPECT_EQ(solver.solve(assumptions), sat::Result::unsat);
+}
+
+TEST(CnfChain, ConditionalResetPinsStateOnlyUnderActivation) {
+  // With conditional_reset, the same solver answers both questions: from
+  // reset the counter's bit 0 is 0 at frame 0 (assume the literal); from an
+  // arbitrary state it may be 1 (leave the literal free).
+  const Netlist n = make_counter(4);
+  sat::Solver solver;
+  rtl::CnfEncoder encoder{n, solver};
+  const sat::Lit act = sat::Lit::positive(solver.new_var());
+  rtl::CnfEncoder::ChainOptions chain;
+  chain.conditional_reset = act;
+  encoder.begin_chain(chain);
+  const sat::Lit bit0 = encoder.frame(0).lit(n.flip_flops()[0]);
+
+  EXPECT_EQ(solver.solve({act, bit0}), sat::Result::unsat);   // reset: cnt[0]=0
+  EXPECT_EQ(solver.solve({act, ~bit0}), sat::Result::sat);
+  EXPECT_EQ(solver.solve({bit0}), sat::Result::sat);          // free state
+  EXPECT_EQ(solver.solve({~bit0}), sat::Result::sat);
+}
+
+TEST(CnfChain, PushFrameBeforeBeginChainThrows) {
+  const Netlist n = make_counter(2);
+  sat::Solver solver;
+  rtl::CnfEncoder encoder{n, solver};
+  EXPECT_THROW((void)encoder.push_frame(), std::logic_error);
+}

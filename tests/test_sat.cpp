@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "sat/instances.hpp"
 #include "sat/solver.hpp"
 #include "support/test_util.hpp"
 
@@ -161,6 +162,161 @@ TEST(Sat, UnknownVariableThrows) {
   (void)s.new_var();
   EXPECT_THROW(s.add_unit(Lit::positive(7)), std::out_of_range);
   EXPECT_THROW((void)s.model_value(7), std::out_of_range);
+}
+
+// ------------------------------------------------- clause-DB reduction
+
+using sat::add_pigeonhole;  // shared generator (src/sat/instances.hpp)
+
+TEST(SatReduce, LearnedClauseCountStaysBounded) {
+  Solver s;
+  Solver::ReduceOptions opts;
+  opts.base = 200;
+  opts.increment = 100;
+  s.set_reduce_options(opts);
+  add_pigeonhole(s, 7);
+  ASSERT_EQ(s.solve(), Result::unsat);
+
+  const auto& stats = s.statistics();
+  EXPECT_GT(stats.conflicts, 1000u);
+  EXPECT_GE(stats.db_reductions, 1u);
+  EXPECT_GT(stats.learned_removed, 0u);
+  // The live database stays far below the total ever learned ...
+  EXPECT_LT(s.learned_clause_count(), stats.learned_clauses / 2);
+  // ... and within the configured ceiling (plus glue/binary clauses, which
+  // reduction deliberately never touches).
+  EXPECT_LT(s.learned_clause_count(),
+            opts.base + stats.db_reductions * opts.increment + stats.learned_clauses / 4);
+}
+
+TEST(SatReduce, VerdictsIdenticalWithReductionOnAndOff) {
+  // Random instances near the phase transition, solved twice: reduction
+  // disabled vs aggressive. The verdict must agree and every SAT model must
+  // genuinely satisfy its formula.
+  for (unsigned seed = 1; seed <= 12; ++seed) {
+    auto rng = symbad::test::rng(seed * 131u);
+    const int n = 30;
+    const int m = 128;
+    std::vector<std::vector<Lit>> clauses;
+    for (int c = 0; c < m; ++c) {
+      std::vector<Lit> clause;
+      for (int k = 0; k < 3; ++k) {
+        clause.push_back(Lit{static_cast<Var>(rng.below(static_cast<std::uint64_t>(n))),
+                             (rng.next() & 1) != 0});
+      }
+      clauses.push_back(std::move(clause));
+    }
+    auto solve_with = [&](bool reduce_enabled) {
+      Solver s;
+      Solver::ReduceOptions opts;
+      opts.enabled = reduce_enabled;
+      opts.base = 20;  // aggressive: reduce constantly when enabled
+      opts.increment = 10;
+      s.set_reduce_options(opts);
+      for (int i = 0; i < n; ++i) (void)s.new_var();
+      for (const auto& clause : clauses) s.add_clause(clause);
+      const Result r = s.solve();
+      if (r == Result::sat) {
+        for (const auto& clause : clauses) {
+          bool satisfied = false;
+          for (const Lit l : clause) {
+            if (s.model_value(l.var()) != l.negated()) satisfied = true;
+          }
+          EXPECT_TRUE(satisfied) << "seed " << seed;
+        }
+      }
+      return r;
+    };
+    EXPECT_EQ(solve_with(false), solve_with(true)) << "seed " << seed;
+  }
+}
+
+TEST(SatReduce, IncrementalSolvesStayCorrectUnderAggressiveReduction) {
+  // A gated contradiction queried with rotating assumptions while the
+  // reduction ceiling is as tight as it goes: every query must keep its
+  // verdict even though the learned DB is being torn down continuously
+  // between solves (binary and glue <= keep_lbd learned clauses are exempt
+  // from deletion by design — deleting them would break the asserting-
+  // reason invariants this sweep leans on).
+  Solver s;
+  Solver::ReduceOptions opts;
+  opts.base = 1;
+  opts.increment = 1;
+  opts.keep_lbd = 2;
+  s.set_reduce_options(opts);
+  const Var g = s.new_var();
+  add_pigeonhole(s, 6, Lit::positive(g));
+  for (int round = 0; round < 6; ++round) {
+    if (round % 2 == 0) {
+      EXPECT_EQ(s.solve({Lit::negative(g)}), Result::unsat) << "round " << round;
+    } else {
+      ASSERT_EQ(s.solve(), Result::sat) << "round " << round;
+      EXPECT_TRUE(s.model_value(g));
+    }
+  }
+  EXPECT_GE(s.statistics().db_reductions, 1u);
+  EXPECT_GT(s.statistics().learned_removed, 0u);
+}
+
+// ---------------------------------------------- incremental statistics
+
+TEST(SatStats, PerSolveDeltasSumToCumulativeTotals) {
+  // A pigeonhole contradiction gated behind `g`: UNSAT while assuming ~g,
+  // SAT otherwise — the solver stays reusable across the whole sweep.
+  Solver s;
+  const Var g = s.new_var();
+  add_pigeonhole(s, 5, Lit::positive(g));
+
+  const auto base = s.statistics();  // add_clause-time propagations excluded
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t first_unsat_conflicts = 0;
+  const Lit contradiction_on = Lit::negative(g);
+  for (int round = 0; round < 4; ++round) {
+    const Result expected = round % 2 == 0 ? Result::unsat : Result::sat;
+    const Result r = round % 2 == 0 ? s.solve({contradiction_on}) : s.solve();
+    EXPECT_EQ(r, expected) << "round " << round;
+    const auto& delta = s.last_solve_statistics();
+    if (round == 0) first_unsat_conflicts = delta.conflicts;
+    conflicts += delta.conflicts;
+    decisions += delta.decisions;
+    propagations += delta.propagations;
+  }
+  EXPECT_EQ(conflicts, s.statistics().conflicts - base.conflicts);
+  EXPECT_EQ(decisions, s.statistics().decisions - base.decisions);
+  EXPECT_EQ(propagations, s.statistics().propagations - base.propagations);
+  EXPECT_GT(first_unsat_conflicts, 0u);
+  // Incremental reuse: refuting the same core the second time rides on the
+  // learned clauses from the first refutation.
+  EXPECT_LT(s.last_solve_statistics().conflicts, first_unsat_conflicts);
+}
+
+TEST(SatStats, RootConflictLatchesUnsatForever) {
+  // Once a conflict is derived at decision level 0 the formula itself is
+  // contradictory; every later incremental solve must stay unsat (this
+  // regression guards the `ok` latch — without it a follow-up solve could
+  // fabricate a model over the contradictory formula).
+  Solver s;
+  add_pigeonhole(s, 4);
+  const Var free_var = s.new_var();
+  EXPECT_EQ(s.solve(), Result::unsat);
+  EXPECT_EQ(s.solve(), Result::unsat);
+  EXPECT_EQ(s.solve({Lit::positive(free_var)}), Result::unsat);
+  EXPECT_EQ(s.solve({Lit::negative(free_var)}), Result::unsat);
+}
+
+TEST(SatStats, RootValueReflectsRootAssignments) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var c = s.new_var();
+  s.add_unit(Lit::positive(a));
+  s.add_binary(Lit::negative(a), Lit::negative(b));  // a -> !b
+  EXPECT_EQ(s.root_value(a), symbad::sat::Value::true_value);
+  EXPECT_EQ(s.root_value(b), symbad::sat::Value::false_value);
+  EXPECT_EQ(s.root_value(c), symbad::sat::Value::undef);
+  EXPECT_THROW((void)s.root_value(99), std::out_of_range);
 }
 
 // ----------------------------------------------------------- properties

@@ -15,6 +15,7 @@
 #include "sim/kernel.hpp"
 #include "sim/module.hpp"
 #include "sim/trace.hpp"
+#include "support/alloc_counter.hpp"
 #include "support/test_util.hpp"
 
 namespace sim = symbad::sim;
@@ -582,36 +583,8 @@ TEST(SmallFn, MoveTransfersOwnershipExactlyOnce) {
 }
 
 // ------------------------------------- steady-state allocation behaviour
-
-namespace {
-
-/// Thread-local allocation counter wired through the replaced global
-/// operator new (see below). Only the deltas between arm()/disarm() are
-/// meaningful.
-std::atomic<std::uint64_t> g_allocations{0};
-std::atomic<bool> g_count_allocations{false};
-
-}  // namespace
-
-// GCC pairs allocation/deallocation call sites once these replacements are
-// inline-visible and (wrongly) flags the malloc/free implementations as
-// mismatched against the compiler-known operator new; the pairing is
-// correct by construction here, so silence that specific diagnostic.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-void* operator new(std::size_t size) {
-  if (g_count_allocations.load(std::memory_order_relaxed)) {
-    g_allocations.fetch_add(1, std::memory_order_relaxed);
-  }
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc{};
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-#pragma GCC diagnostic pop
+// Counting allocator shared with bench_level2_sim (support/alloc_counter.hpp
+// defines the replaced global operator new for this binary).
 
 TEST(Kernel, SteadyStateSchedulingIsAllocationFree) {
   // A ring of self-rescheduling timed events plus delta notifications —
@@ -647,16 +620,14 @@ TEST(Kernel, SteadyStateSchedulingIsAllocationFree) {
   (void)kernel.run(Time::us(2));
 
   // Measured phase: the same traffic pattern must not touch the heap.
-  g_allocations.store(0);
-  g_count_allocations.store(true);
+  symbad::test_support::arm_allocation_counter();
   for (int i = 0; i < 32; ++i) {
     kernel.schedule(Time::ns(i + 1), Hop{&kernel, &tick, 200});
   }
   const auto result = kernel.run();
-  g_count_allocations.store(false);
+  const auto allocations = symbad::test_support::disarm_allocation_counter();
 
   EXPECT_EQ(result, sim::RunResult::no_more_events);
-  EXPECT_EQ(g_allocations.load(), 0u)
-      << "kernel hot path allocated during steady state";
+  EXPECT_EQ(allocations, 0u) << "kernel hot path allocated during steady state";
   EXPECT_GT(fired, 0u);
 }
