@@ -55,6 +55,57 @@ void BM_Mc_EarlyFalsificationUnderDeepHorizon(benchmark::State& state) {
 }
 BENCHMARK(BM_Mc_EarlyFalsificationUnderDeepHorizon)->Unit(benchmark::kMillisecond);
 
+void BM_Mc_ConeOfInfluenceOnRootControl(benchmark::State& state) {
+  // The COI tentpole on a multi-output netlist: the ROOT core carries a
+  // 12-bit result datapath, but the property observes only the control
+  // outputs (busy/done) — a strict subset — so the cone reduction drops the
+  // datapath from every frame. Arg(0) = reduction off, Arg(1) = on; the
+  // encoded_vars / encoded_clauses counters are deterministic and pin the
+  // measured reduction (and, with the encode cache, stay flat per bound).
+  const auto n = app::build_root_rtl();
+  const mc::ModelChecker checker{n};
+  const auto prop = mc::Property::invariant(
+      "busy_and_done_exclusive",
+      !(mc::Expr::signal("busy") && mc::Expr::signal("done")));
+  mc::ModelChecker::Options options;
+  options.max_bound = 15;
+  options.induction_depth = 3;
+  options.cone_of_influence = state.range(0) != 0;
+  mc::CheckResult result;
+  for (auto _ : state) {
+    result = checker.check(prop, options);
+    benchmark::DoNotOptimize(result.status);
+  }
+  state.counters["coi"] = static_cast<double>(state.range(0));
+  state.counters["encoded_vars"] = static_cast<double>(result.solver_variables);
+  state.counters["encoded_clauses"] = static_cast<double>(result.solver_clauses);
+  state.counters["sat_conflicts_total"] = static_cast<double>(result.total_sat_conflicts);
+}
+BENCHMARK(BM_Mc_ConeOfInfluenceOnRootControl)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_Mc_CheckAllWrapperSuite(benchmark::State& state) {
+  // The portfolio API on the paper's verification plan: all 12 wrapper
+  // properties on ONE long-lived solver — one portfolio solve per bound
+  // clears every surviving property, versus one full BMC sweep each.
+  const auto n = app::build_wrapper_fsm();
+  const mc::ModelChecker checker{n};
+  const auto props = app::wrapper_properties_extended();
+  mc::ModelChecker::Options options;
+  options.max_bound = 12;
+  options.induction_depth = 4;
+  mc::MultiCheckResult result;
+  for (auto _ : state) {
+    result = checker.check_all(props, options);
+    benchmark::DoNotOptimize(result.results.size());
+  }
+  state.counters["properties"] = static_cast<double>(result.results.size());
+  state.counters["falsified"] = static_cast<double>(result.count(mc::CheckStatus::falsified));
+  state.counters["encoded_vars"] = static_cast<double>(result.solver_variables);
+  state.counters["encoded_clauses"] = static_cast<double>(result.solver_clauses);
+  state.counters["sat_conflicts_total"] = static_cast<double>(result.total_sat_conflicts);
+}
+BENCHMARK(BM_Mc_CheckAllWrapperSuite)->Unit(benchmark::kMillisecond);
+
 void BM_Mc_SharedSolverInductionProof(benchmark::State& state) {
   // An inductive invariant on the DISTANCE PE: the k-induction solve runs
   // on the same solver (and learned clauses) as the preceding BMC sweep.

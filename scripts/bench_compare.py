@@ -18,8 +18,9 @@ Two kinds of gates:
   * real_time — host-dependent. Regressions beyond the threshold fail by
     default; pass --time-mode warn on shared/noisy hosts (the CI container
     is a 1-core box where timings swing with neighbours).
-  * counters matching --counter-pattern (default: allocation and conflict
-    counts, which are deterministic and host-independent) — regressions
+  * counters matching --counter-pattern (default: allocation counts, SAT
+    conflict counts and encoded CNF sizes, which are deterministic and
+    host-independent) — regressions
     beyond the threshold always fail; a counter that appears from a zero
     baseline fails, and so does a gated counter that disappears from a
     still-running benchmark (otherwise the gate would silently stop
@@ -51,9 +52,10 @@ def main() -> int:
                         help="allowed fractional regression (0.20 = 20%%)")
     parser.add_argument("--time-mode", choices=("fail", "warn"), default="fail",
                         help="whether real_time regressions fail or only warn")
-    parser.add_argument("--counter-pattern", default=r"alloc|conflict",
+    parser.add_argument("--counter-pattern", default=r"alloc|conflict|encoded_",
                         help="regex of counter names that hard-fail on regression "
-                             "(host-independent metrics only)")
+                             "(host-independent metrics only: allocation counts, "
+                             "SAT conflicts, encoded CNF vars/clauses)")
     args = parser.parse_args()
 
     baseline = load(args.baseline)

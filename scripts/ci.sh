@@ -4,8 +4,9 @@
 # with the threaded campaign runner explicitly exercised at 4 workers, and a
 # perf-regression pass over the SAT/MC/kernel benches against the committed
 # BENCH_BASELINE.json. Timings are warn-only (this runs on a shared 1-core
-# host where wall-clock swings with neighbours); allocation-count and
-# conflict-count counters are host-independent and hard-fail beyond 20%.
+# host where wall-clock swings with neighbours); allocation-count,
+# conflict-count and encoded-CNF-size counters are host-independent and
+# hard-fail beyond 20%.
 # Any failure exits nonzero.
 #
 # Usage: scripts/ci.sh [jobs]   (jobs defaults to nproc)

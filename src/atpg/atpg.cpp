@@ -184,7 +184,10 @@ bool Laerte::detects_seeded_memory_bug(const Testbench& tb) const {
 // -------------------------------------------------------- SAT engine
 
 SatEngine::SatEngine(const rtl::Netlist& netlist, Options options)
-    : netlist_{&netlist}, options_{options}, encoder_{netlist, solver_} {
+    : netlist_{&netlist},
+      options_{options},
+      encoder_{netlist, solver_},
+      cones_{netlist} {
   // The good unrolling is shared by every fault and encoded exactly once.
   for (int f = 0; f < options_.unroll; ++f) {
     rtl::CnfEncoder::Options good_opts;
@@ -195,68 +198,6 @@ SatEngine::SatEngine(const rtl::Netlist& netlist, Options options)
     for (const rtl::Net in : netlist.inputs()) shared.push_back(good_.back().lit(in));
     shared_inputs_.push_back(std::move(shared));
   }
-  // Fanout adjacency for fault-cone tracing: combinational reader edges,
-  // plus sequential (next-state net -> flip-flop output) edges that carry a
-  // cone across the frame boundary.
-  comb_fanout_.resize(netlist.gate_count());
-  for (std::size_t i = 0; i < netlist.gate_count(); ++i) {
-    const rtl::Gate& g = netlist.gate(static_cast<rtl::Net>(i));
-    const rtl::Net reader = static_cast<rtl::Net>(i);
-    switch (g.kind) {
-      case rtl::GateKind::not_gate:
-        comb_fanout_[static_cast<std::size_t>(g.a)].push_back(reader);
-        break;
-      case rtl::GateKind::and_gate:
-      case rtl::GateKind::or_gate:
-      case rtl::GateKind::xor_gate:
-        comb_fanout_[static_cast<std::size_t>(g.a)].push_back(reader);
-        comb_fanout_[static_cast<std::size_t>(g.b)].push_back(reader);
-        break;
-      case rtl::GateKind::mux:
-        comb_fanout_[static_cast<std::size_t>(g.a)].push_back(reader);
-        comb_fanout_[static_cast<std::size_t>(g.b)].push_back(reader);
-        comb_fanout_[static_cast<std::size_t>(g.c)].push_back(reader);
-        break;
-      case rtl::GateKind::dff:
-        dff_edges_.emplace_back(g.a, reader);
-        break;
-      default:
-        break;
-    }
-  }
-}
-
-std::vector<std::vector<char>> SatEngine::fault_cone(rtl::Net fault_net) const {
-  const std::size_t n = netlist_->gate_count();
-  std::vector<std::vector<char>> cone(static_cast<std::size_t>(options_.unroll),
-                                      std::vector<char>(n, 0));
-  std::vector<rtl::Net> frontier;
-  for (int f = 0; f < options_.unroll; ++f) {
-    auto& marks = cone[static_cast<std::size_t>(f)];
-    // The stuck-at fault forces its net in every frame; flip-flops whose
-    // next-state fell in the previous frame's cone differ from this frame on.
-    frontier.clear();
-    frontier.push_back(fault_net);
-    if (f > 0) {
-      const auto& prev = cone[static_cast<std::size_t>(f - 1)];
-      for (const auto& [next_net, dff_net] : dff_edges_) {
-        if (prev[static_cast<std::size_t>(next_net)] != 0) frontier.push_back(dff_net);
-      }
-    }
-    for (const rtl::Net seed : frontier) marks[static_cast<std::size_t>(seed)] = 1;
-    while (!frontier.empty()) {
-      const rtl::Net net = frontier.back();
-      frontier.pop_back();
-      for (const rtl::Net reader : comb_fanout_[static_cast<std::size_t>(net)]) {
-        auto& mark = marks[static_cast<std::size_t>(reader)];
-        if (mark == 0) {
-          mark = 1;
-          frontier.push_back(reader);
-        }
-      }
-    }
-  }
-  return cone;
 }
 
 std::optional<SatTest> SatEngine::generate(rtl::Net fault_net, bool stuck_to) {
@@ -268,7 +209,7 @@ std::optional<SatTest> SatEngine::generate(rtl::Net fault_net, bool stuck_to) {
   // the fault's fanout cone is re-encoded; everything else reuses the good
   // copy's literals, so out-of-cone outputs cannot differ and need no
   // miter XOR.
-  const auto cone = fault_cone(fault_net);
+  const auto cone = cones_.fault_cones(fault_net, options_.unroll);
   std::vector<rtl::Frame> bad;
   std::vector<sat::Lit> diff_clause{~act};
   for (int f = 0; f < options_.unroll; ++f) {

@@ -26,6 +26,7 @@
 #include "media/face_gen.hpp"
 #include "media/pipeline.hpp"
 #include "rtl/cnf.hpp"
+#include "rtl/cone.hpp"
 #include "rtl/netlist.hpp"
 #include "sat/solver.hpp"
 #include "verif/coverage.hpp"
@@ -152,18 +153,16 @@ public:
   [[nodiscard]] int unroll() const noexcept { return options_.unroll; }
 
 private:
-  /// Per-frame fault cone: cone[f][net] != 0 iff `net` at frame f can
-  /// differ from the good copy. Only these nets are re-encoded.
-  [[nodiscard]] std::vector<std::vector<char>> fault_cone(rtl::Net fault_net) const;
-
   const rtl::Netlist* netlist_;
   Options options_;
   sat::Solver solver_;
   rtl::CnfEncoder encoder_;
+  /// Shared forward-cone traversal (rtl::ConeTracer): cones_.fault_cones()
+  /// tells which nets per frame can differ from the good copy — only those
+  /// are re-encoded per fault.
+  rtl::ConeTracer cones_;
   std::vector<rtl::Frame> good_;
   std::vector<std::vector<sat::Lit>> shared_inputs_;  ///< per frame, input order
-  std::vector<std::vector<rtl::Net>> comb_fanout_;    ///< net -> combinational readers
-  std::vector<std::pair<rtl::Net, rtl::Net>> dff_edges_;  ///< (next-state net, dff net)
 };
 
 }  // namespace symbad::atpg

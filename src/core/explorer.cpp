@@ -25,19 +25,45 @@ std::string label_for(const Partition& partition, const TaskGraph& graph) {
 
 }  // namespace
 
-std::vector<DesignPoint> Explorer::explore() const {
+std::vector<DesignPoint> Explorer::explore(ExploreInfo* info) const {
+  if (options_.max_movable_tasks < 0 || options_.max_movable_tasks > 62) {
+    throw std::invalid_argument{"Explorer: max_movable_tasks must be in [0, 62]"};
+  }
   // Movable tasks sorted heaviest-first (the designer's profiling ranking).
+  // Equal weights tie-break on the task name: std::sort on weight alone is
+  // unstable, so equal-weight tasks used to enumerate in a platform-
+  // dependent order, changing design-point labels and ranks across stdlibs.
   std::vector<std::string> movable;
   for (const auto& node : graph_->tasks()) {
     if (!is_pinned(options_.pinned_software, node.name)) movable.push_back(node.name);
   }
-  std::sort(movable.begin(), movable.end(), [this](const auto& a, const auto& b) {
-    return graph_->task(a).ops_per_frame > graph_->task(b).ops_per_frame;
+  std::stable_sort(movable.begin(), movable.end(), [this](const auto& a, const auto& b) {
+    const auto ops_a = graph_->task(a).ops_per_frame;
+    const auto ops_b = graph_->task(b).ops_per_frame;
+    if (ops_a != ops_b) return ops_a > ops_b;
+    return a < b;
   });
+
+  const std::size_t movable_total = movable.size();
+  const auto cap = static_cast<std::size_t>(options_.max_movable_tasks);
+  if (movable_total > cap) {
+    if (!options_.truncate_movable) {
+      throw std::length_error{
+          "Explorer: " + std::to_string(movable_total) +
+          " movable tasks exceed max_movable_tasks=" + std::to_string(cap) +
+          " (2^n enumeration); pin tasks in software or opt into "
+          "Options::truncate_movable"};
+    }
+    movable.resize(cap);  // heaviest-first prefix, deterministic after the sort
+  }
+  if (info != nullptr) {
+    info->movable_tasks = movable_total;
+    info->enumerated_tasks = movable.size();
+  }
 
   std::vector<DesignPoint> points;
   const auto n = movable.size();
-  const std::uint64_t combos = std::uint64_t{1} << std::min<std::size_t>(n, 16);
+  const std::uint64_t combos = std::uint64_t{1} << n;
   for (std::uint64_t mask = 0; mask < combos; ++mask) {
     std::vector<std::string> hw_tasks;
     for (std::size_t i = 0; i < n; ++i) {
@@ -77,9 +103,11 @@ std::vector<DesignPoint> Explorer::explore() const {
     }
   }
 
-  std::sort(points.begin(), points.end(), [](const DesignPoint& a, const DesignPoint& b) {
-    return a.grade.merit() > b.grade.merit();
-  });
+  // Stable: equal-merit points keep their (deterministic) enumeration order.
+  std::stable_sort(points.begin(), points.end(),
+                   [](const DesignPoint& a, const DesignPoint& b) {
+                     return a.grade.merit() > b.grade.merit();
+                   });
   return points;
 }
 

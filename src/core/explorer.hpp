@@ -14,6 +14,17 @@
 
 namespace symbad::core {
 
+/// How `Explorer::explore` arrived at its candidate set (movable-task
+/// accounting; surfaces the enumeration cap instead of silently dropping
+/// tasks — see Options::max_movable_tasks).
+struct ExploreInfo {
+  std::size_t movable_tasks = 0;     ///< unpinned tasks in the graph
+  std::size_t enumerated_tasks = 0;  ///< tasks that entered the 2^n sweep
+  [[nodiscard]] bool truncated() const noexcept {
+    return enumerated_tasks < movable_tasks;
+  }
+};
+
 /// One explored design point.
 struct DesignPoint {
   Partition partition;
@@ -45,14 +56,29 @@ public:
     bool explore_fpga_variants = true;
     /// Number of FPGA contexts to split soft-HW tasks across.
     int fpga_contexts = 2;
+    /// Cap on the movable tasks entering the 2^n subset enumeration
+    /// (enumeration cost doubles per task). When the graph has more,
+    /// `explore` throws std::length_error unless `truncate_movable` is set,
+    /// in which case only the heaviest `max_movable_tasks` are enumerated
+    /// (the rest stay in software) and the drop is reported via
+    /// ExploreInfo — never silently. Must be in [0, 62].
+    int max_movable_tasks = 16;
+    /// Opt-in to enumerate only the heaviest `max_movable_tasks` movable
+    /// tasks instead of throwing when the graph exceeds the cap.
+    bool truncate_movable = false;
   };
 
   Explorer(const TaskGraph& graph, AnalyticModel model, Options options)
       : graph_{&graph}, model_{std::move(model)}, options_{std::move(options)} {}
 
   /// Enumerates and grades candidates; returns all evaluated points sorted
-  /// by descending merit.
-  [[nodiscard]] std::vector<DesignPoint> explore() const;
+  /// by descending merit. Candidate enumeration is fully deterministic:
+  /// movable tasks are ordered heaviest-first with a task-name tiebreak, so
+  /// labels and ranks are identical across platforms and stdlibs. Throws
+  /// std::length_error when the movable tasks exceed
+  /// Options::max_movable_tasks and truncation was not opted into; pass
+  /// `info` to observe the movable/enumerated accounting.
+  [[nodiscard]] std::vector<DesignPoint> explore(ExploreInfo* info = nullptr) const;
 
   /// Simulation-backed grading: re-scores the top `top_k` points (by the
   /// current analytic ranking) with throughput measured by `scorer` —

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <exception>
@@ -80,7 +81,18 @@ int CampaignRunner::resolve_workers(int requested) {
   int workers = requested;
   if (workers <= 0) {
     if (const char* env = std::getenv("SYMBAD_CAMPAIGN_WORKERS")) {
-      workers = std::atoi(env);
+      // Strict parse: `atoi` used to map garbage ("abc") and nonsense
+      // ("-3") to a silent hardware-concurrency fallback — a misconfigured
+      // campaign must fail loudly, not run with a surprise worker count.
+      char* end = nullptr;
+      errno = 0;
+      const long parsed = std::strtol(env, &end, 10);
+      if (end == env || *end != '\0' || errno == ERANGE || parsed < 1 || parsed > 64) {
+        throw std::invalid_argument{
+            "campaign: SYMBAD_CAMPAIGN_WORKERS must be an integer in [1, 64], got \"" +
+            std::string{env} + "\""};
+      }
+      workers = static_cast<int>(parsed);
     }
   }
   if (workers <= 0) workers = static_cast<int>(std::thread::hardware_concurrency());

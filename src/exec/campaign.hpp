@@ -129,7 +129,9 @@ public:
 
   /// Resolves a requested worker count: explicit value, else the
   /// SYMBAD_CAMPAIGN_WORKERS environment variable, else hardware
-  /// concurrency; clamped to [1, 64].
+  /// concurrency; clamped to [1, 64]. The environment variable is parsed
+  /// strictly — anything other than an integer in [1, 64] throws
+  /// std::invalid_argument rather than silently falling back.
   [[nodiscard]] static int resolve_workers(int requested);
 
   [[nodiscard]] const Options& options() const noexcept { return options_; }

@@ -1,5 +1,7 @@
 #include "mc/mc.hpp"
 
+#include <algorithm>
+#include <span>
 #include <stdexcept>
 
 namespace symbad::mc {
@@ -45,32 +47,45 @@ Expr Expr::operator||(const Expr& rhs) const {
   return e;
 }
 
-Lit Expr::encode(rtl::CnfEncoder& encoder, const rtl::Frame& frame) const {
+Lit Expr::encode(rtl::CnfEncoder& encoder, std::size_t frame_index,
+                 EncodeCache& cache) const {
+  const auto key = std::make_pair(static_cast<const void*>(this), frame_index);
+  if (const auto it = cache.lits.find(key); it != cache.lits.end()) return it->second;
   auto& solver = encoder.solver();
+  Lit out;
   switch (kind_) {
-    case Kind::signal: return frame.lit(encoder.netlist().output(name_));
-    case Kind::constant: return value_ ? encoder.true_lit() : ~encoder.true_lit();
-    case Kind::not_op: return ~lhs_->encode(encoder, frame);
+    case Kind::signal:
+      out = encoder.frame(frame_index).lit(encoder.netlist().output(name_));
+      break;
+    case Kind::constant:
+      out = value_ ? encoder.true_lit() : ~encoder.true_lit();
+      break;
+    case Kind::not_op:
+      out = ~lhs_->encode(encoder, frame_index, cache);
+      break;
     case Kind::and_op: {
-      const Lit a = lhs_->encode(encoder, frame);
-      const Lit b = rhs_->encode(encoder, frame);
-      const Lit out = Lit::positive(solver.new_var());
+      const Lit a = lhs_->encode(encoder, frame_index, cache);
+      const Lit b = rhs_->encode(encoder, frame_index, cache);
+      out = Lit::positive(solver.new_var());
       solver.add_binary(~out, a);
       solver.add_binary(~out, b);
       solver.add_ternary(out, ~a, ~b);
-      return out;
+      break;
     }
     case Kind::or_op: {
-      const Lit a = lhs_->encode(encoder, frame);
-      const Lit b = rhs_->encode(encoder, frame);
-      const Lit out = Lit::positive(solver.new_var());
+      const Lit a = lhs_->encode(encoder, frame_index, cache);
+      const Lit b = rhs_->encode(encoder, frame_index, cache);
+      out = Lit::positive(solver.new_var());
       solver.add_binary(out, ~a);
       solver.add_binary(out, ~b);
       solver.add_ternary(~out, a, b);
-      return out;
+      break;
     }
+    default:
+      throw std::logic_error{"mc: bad expression"};
   }
-  throw std::logic_error{"mc: bad expression"};
+  cache.lits.emplace(key, out);
+  return out;
 }
 
 bool Expr::eval(const rtl::Simulator& sim, const rtl::Netlist& netlist) const {
@@ -82,6 +97,19 @@ bool Expr::eval(const rtl::Simulator& sim, const rtl::Netlist& netlist) const {
     case Kind::or_op: return lhs_->eval(sim, netlist) || rhs_->eval(sim, netlist);
   }
   throw std::logic_error{"mc: bad expression"};
+}
+
+void Expr::collect_signals(std::vector<std::string>& out) const {
+  switch (kind_) {
+    case Kind::signal: out.push_back(name_); return;
+    case Kind::constant: return;
+    case Kind::not_op: lhs_->collect_signals(out); return;
+    case Kind::and_op:
+    case Kind::or_op:
+      lhs_->collect_signals(out);
+      rhs_->collect_signals(out);
+      return;
+  }
 }
 
 std::string Expr::to_string() const {
@@ -129,18 +157,165 @@ Property Property::respond(std::string name, Expr p, Expr q, int within) {
 
 namespace {
 
-Counterexample extract_counterexample(const rtl::Netlist& netlist, sat::Solver& solver,
-                                      rtl::CnfEncoder& encoder, int last_frame) {
+/// One long-lived solver + frame chain + encode cache serving every BMC
+/// bound, the k-induction step and (in check_all) every property. Assuming
+/// `act_reset` pins frame 0 to the reset state (BMC); leaving it free makes
+/// frame 0 an arbitrary state (induction). With cone-of-influence reduction
+/// the chain only ever encodes the union cone of the checked properties.
+struct Session {
+  const rtl::Netlist* netlist;
+  sat::Solver solver;
+  rtl::CnfEncoder encoder;
+  EncodeCache cache;
+  Lit act_reset;
+  std::vector<char> cone;  ///< empty when the reduction is off
+
+  Session(const rtl::Netlist& n, std::span<const Property> properties,
+          const std::map<rtl::Net, bool>& faults, const ModelChecker::Options& options)
+      : netlist{&n}, encoder{n, solver} {
+    if (options.cone_of_influence) {
+      std::vector<std::string> names;
+      for (const auto& p : properties) {
+        p.antecedent.collect_signals(names);
+        p.consequent.collect_signals(names);
+      }
+      std::vector<rtl::Net> roots;
+      roots.reserve(names.size());
+      for (const auto& name : names) roots.push_back(n.output(name));
+      cone = n.cone_of_influence(roots);
+    }
+    act_reset = Lit::positive(solver.new_var());
+    rtl::CnfEncoder::ChainOptions chain;
+    chain.first_state = rtl::StateInit::reset;
+    chain.conditional_reset = act_reset;
+    chain.cone = cone.empty() ? nullptr : &cone;
+    if (!faults.empty()) chain.faults = &faults;
+    encoder.begin_chain(chain);
+  }
+};
+
+/// Appends the assumption literals whose conjunction states "property
+/// violated at bound i" and returns the deepest frame the violation spans.
+int violation_assumptions(const Property& property, int i, Session& s,
+                          std::vector<Lit>& out) {
+  switch (property.kind) {
+    case PropertyKind::invariant:
+      out.push_back(~property.antecedent.encode(s.encoder, static_cast<std::size_t>(i),
+                                                s.cache));
+      return i;
+    case PropertyKind::next_implication:
+      out.push_back(property.antecedent.encode(s.encoder, static_cast<std::size_t>(i),
+                                               s.cache));
+      out.push_back(~property.consequent.encode(s.encoder,
+                                                static_cast<std::size_t>(i + 1), s.cache));
+      return i + 1;
+    case PropertyKind::bounded_response:
+      out.push_back(property.antecedent.encode(s.encoder, static_cast<std::size_t>(i),
+                                               s.cache));
+      for (int d = 0; d <= property.response_bound; ++d) {
+        out.push_back(~property.consequent.encode(
+            s.encoder, static_cast<std::size_t>(i + d), s.cache));
+      }
+      return i + property.response_bound;
+  }
+  throw std::logic_error{"mc: bad property kind"};
+}
+
+/// Literal of "property holds at frame f" (for k-induction).
+Lit holds_at(const Property& property, int f, Session& s) {
+  switch (property.kind) {
+    case PropertyKind::invariant:
+      return property.antecedent.encode(s.encoder, static_cast<std::size_t>(f), s.cache);
+    case PropertyKind::next_implication: {
+      const Lit p = property.antecedent.encode(s.encoder, static_cast<std::size_t>(f),
+                                               s.cache);
+      const Lit q = property.consequent.encode(s.encoder, static_cast<std::size_t>(f + 1),
+                                               s.cache);
+      // r = p -> q
+      const Lit r = Lit::positive(s.solver.new_var());
+      s.solver.add_ternary(~r, ~p, q);
+      s.solver.add_binary(r, p);
+      s.solver.add_binary(r, ~q);
+      return r;
+    }
+    default: break;
+  }
+  throw std::logic_error{"mc: unreachable"};
+}
+
+/// Straight model read-out: the solver's current model projected onto the
+/// primary inputs (out-of-cone inputs — unencoded, irrelevant — read false).
+Counterexample model_counterexample(Session& s, int last_frame) {
   Counterexample cex;
-  for (int f = 0; f <= last_frame && f < static_cast<int>(encoder.frame_count()); ++f) {
+  for (int f = 0; f <= last_frame; ++f) {
     std::map<std::string, bool> values;
-    for (const rtl::Net in : netlist.inputs()) {
-      const Lit l = encoder.frame(static_cast<std::size_t>(f)).lit(in);
-      values[netlist.net_name(in)] = solver.model_value(l.var()) != l.negated();
+    for (const rtl::Net in : s.netlist->inputs()) {
+      const Lit l = s.encoder.frame(static_cast<std::size_t>(f)).lit(in);
+      values[s.netlist->net_name(in)] =
+          l.valid() && (s.solver.model_value(l.var()) != l.negated());
     }
     cex.inputs.push_back(std::move(values));
   }
   return cex;
+}
+
+/// Lexicographically-least violating trace: walk the input bits frame-major
+/// in declaration order, greedily pinning each to false when a violating
+/// trace with the prefix still exists (one assumption solve per bit the
+/// current model has true; bits already false are pinned for free — the
+/// current model is the witness). The result depends only on the netlist,
+/// the property and the violation assumptions in `fixed` — not on CNF shape
+/// (cone on/off), learned clauses or decision heuristics — which is what
+/// makes counterexamples bit-identical across encodings and platforms.
+Counterexample canonical_counterexample(Session& s, int last_frame,
+                                        std::vector<Lit> fixed,
+                                        std::uint64_t& cex_conflicts) {
+  // Establish the invariant the greedy walk relies on: the solver's
+  // current model satisfies `fixed`. The caller's decisive solve usually
+  // just did, but in check_all canonicalising one property's trace
+  // overwrites the model a co-falsified property was classified on — this
+  // (cheap, assumption-driven) solve re-derives a witness either way.
+  (void)s.solver.solve(fixed);
+  cex_conflicts += s.solver.last_solve_statistics().conflicts;
+  Counterexample cex;
+  for (int f = 0; f <= last_frame; ++f) {
+    std::map<std::string, bool> values;
+    for (const rtl::Net in : s.netlist->inputs()) {
+      const std::string& name = s.netlist->net_name(in);
+      const Lit l = s.encoder.frame(static_cast<std::size_t>(f)).lit(in);
+      if (!l.valid()) {  // out of the cone: cannot matter, canonically false
+        values[name] = false;
+        continue;
+      }
+      bool value = s.solver.model_value(l.var()) != l.negated();
+      if (value) {
+        fixed.push_back(~l);
+        const bool can_be_false = s.solver.solve(fixed) == sat::Result::sat;
+        cex_conflicts += s.solver.last_solve_statistics().conflicts;
+        if (can_be_false) {
+          value = false;  // the new model witnesses the false-prefix
+        } else {
+          fixed.back() = l;
+          // Refresh the model for the remaining bits (SAT by construction:
+          // the previous model satisfies the prefix with this bit true).
+          (void)s.solver.solve(fixed);
+          cex_conflicts += s.solver.last_solve_statistics().conflicts;
+        }
+      } else {
+        fixed.push_back(~l);
+      }
+      values[name] = value;
+    }
+    cex.inputs.push_back(std::move(values));
+  }
+  return cex;
+}
+
+void finalize_solver_stats(const Session& s, int& variables, std::size_t& clauses,
+                           std::size_t& frames) {
+  variables = s.solver.variable_count();
+  clauses = s.solver.problem_clause_count();
+  frames = s.encoder.frame_count();
 }
 
 }  // namespace
@@ -153,59 +328,26 @@ CheckResult ModelChecker::check_with_faults(const Property& property,
                                             const std::map<rtl::Net, bool>& faults,
                                             Options options) const {
   CheckResult result;
-
-  // One solver and one lazily-grown frame chain serve every BMC bound and
-  // the k-induction step. Assuming `act_reset` pins frame 0 to the reset
-  // state (BMC); leaving it free makes frame 0 an arbitrary state
-  // (induction). Learned clauses persist across all solves.
-  sat::Solver solver;
-  rtl::CnfEncoder encoder{*netlist_, solver};
-  const Lit act_reset = Lit::positive(solver.new_var());
-  rtl::CnfEncoder::ChainOptions chain;
-  chain.first_state = rtl::StateInit::reset;
-  chain.conditional_reset = act_reset;
-  if (!faults.empty()) chain.faults = &faults;
-  encoder.begin_chain(chain);
+  Session s{*netlist_, {&property, 1}, faults, options};
 
   // ---------------- BMC from reset --------------------------------------
   for (int i = 0; i <= options.max_bound; ++i) {
-    std::vector<Lit> assumptions{act_reset};
-    int last = i;
-    switch (property.kind) {
-      case PropertyKind::invariant:
-        assumptions.push_back(~property.antecedent.encode(
-            encoder, encoder.frame(static_cast<std::size_t>(i))));
-        break;
-      case PropertyKind::next_implication:
-        // Encode the deeper frame first: `frame` can reallocate the chain,
-        // invalidating a Frame reference taken before the call.
-        (void)encoder.frame(static_cast<std::size_t>(i + 1));
-        assumptions.push_back(property.antecedent.encode(
-            encoder, encoder.frame(static_cast<std::size_t>(i))));
-        assumptions.push_back(~property.consequent.encode(
-            encoder, encoder.frame(static_cast<std::size_t>(i + 1))));
-        last = i + 1;
-        break;
-      case PropertyKind::bounded_response:
-        (void)encoder.frame(static_cast<std::size_t>(i + property.response_bound));
-        assumptions.push_back(property.antecedent.encode(
-            encoder, encoder.frame(static_cast<std::size_t>(i))));
-        for (int d = 0; d <= property.response_bound; ++d) {
-          assumptions.push_back(~property.consequent.encode(
-              encoder, encoder.frame(static_cast<std::size_t>(i + d))));
-        }
-        last = i + property.response_bound;
-        break;
-    }
-    const bool sat_at_bound = solver.solve(assumptions) == sat::Result::sat;
-    const std::uint64_t delta = solver.last_solve_statistics().conflicts;
+    std::vector<Lit> assumptions{s.act_reset};
+    const int last = violation_assumptions(property, i, s, assumptions);
+    const bool sat_at_bound = s.solver.solve(assumptions) == sat::Result::sat;
+    const std::uint64_t delta = s.solver.last_solve_statistics().conflicts;
     result.bound_conflicts.push_back(delta);
     result.total_sat_conflicts += delta;
     if (sat_at_bound) {
       result.status = CheckStatus::falsified;
       result.bound_used = i;
       result.sat_conflicts = delta;
-      result.counterexample = extract_counterexample(*netlist_, solver, encoder, last);
+      result.counterexample =
+          options.canonical_counterexample
+              ? canonical_counterexample(s, last, assumptions, result.cex_conflicts)
+              : model_counterexample(s, last);
+      finalize_solver_stats(s, result.solver_variables, result.solver_clauses,
+                            result.frames_encoded);
       return result;
     }
   }
@@ -217,38 +359,18 @@ CheckResult ModelChecker::check_with_faults(const Property& property,
   // ---------------- k-induction (safety forms only) ---------------------
   if (property.kind == PropertyKind::bounded_response) {
     result.status = CheckStatus::no_cex_within_bound;
+    finalize_solver_stats(s, result.solver_variables, result.solver_clauses,
+                          result.frames_encoded);
     return result;
   }
-  const int k = options.induction_depth;
-  auto holds_at = [&](int f) -> Lit {
-    switch (property.kind) {
-      case PropertyKind::invariant:
-        return property.antecedent.encode(encoder,
-                                          encoder.frame(static_cast<std::size_t>(f)));
-      case PropertyKind::next_implication: {
-        (void)encoder.frame(static_cast<std::size_t>(f + 1));
-        const Lit p = property.antecedent.encode(
-            encoder, encoder.frame(static_cast<std::size_t>(f)));
-        const Lit q = property.consequent.encode(
-            encoder, encoder.frame(static_cast<std::size_t>(f + 1)));
-        // r = p -> q
-        const Lit r = Lit::positive(solver.new_var());
-        solver.add_ternary(~r, ~p, q);
-        solver.add_binary(r, p);
-        solver.add_binary(r, ~q);
-        return r;
-      }
-      default: break;
-    }
-    throw std::logic_error{"mc: unreachable"};
-  };
   // Assume the property on frames 0..k-1 and refute it at frame k, with
   // the initial state left free (act_reset not assumed).
+  const int k = options.induction_depth;
   std::vector<Lit> assumptions;
-  for (int f = 0; f < k; ++f) assumptions.push_back(holds_at(f));
-  assumptions.push_back(~holds_at(k));
-  const bool induction_closed = solver.solve(assumptions) == sat::Result::unsat;
-  result.induction_conflicts = solver.last_solve_statistics().conflicts;
+  for (int f = 0; f < k; ++f) assumptions.push_back(holds_at(property, f, s));
+  assumptions.push_back(~holds_at(property, k, s));
+  const bool induction_closed = s.solver.solve(assumptions) == sat::Result::unsat;
+  result.induction_conflicts = s.solver.last_solve_statistics().conflicts;
   result.total_sat_conflicts += result.induction_conflicts;
   if (induction_closed) {
     result.status = CheckStatus::proved;
@@ -256,7 +378,135 @@ CheckResult ModelChecker::check_with_faults(const Property& property,
   } else {
     result.status = CheckStatus::no_cex_within_bound;
   }
+  finalize_solver_stats(s, result.solver_variables, result.solver_clauses,
+                        result.frames_encoded);
   return result;
+}
+
+MultiCheckResult ModelChecker::check_all(const std::vector<Property>& properties,
+                                         Options options) const {
+  return check_all_with_faults(properties, {}, options);
+}
+
+MultiCheckResult ModelChecker::check_all_with_faults(
+    const std::vector<Property>& properties, const std::map<rtl::Net, bool>& faults,
+    Options options) const {
+  MultiCheckResult multi;
+  multi.results.resize(properties.size());
+  if (properties.empty()) return multi;
+  Session s{*netlist_, {properties.data(), properties.size()}, faults, options};
+
+  const std::size_t n = properties.size();
+  std::vector<Lit> activation(n);
+  for (auto& act : activation) act = Lit::positive(s.solver.new_var());
+  std::vector<char> decided(n, 0);
+  std::size_t undecided = n;
+
+  // ---------------- portfolio BMC ---------------------------------------
+  for (int b = 0; b <= options.max_bound && undecided > 0; ++b) {
+    // Violation literal per undecided property: v <-> (its violation
+    // conjuncts at bound b). Both directions, so a model classifies every
+    // violated property, not just the one the portfolio clause picked.
+    std::vector<Lit> violation(n);
+    std::vector<int> last_frame(n, b);
+    std::vector<Lit> portfolio_clause;
+    const Lit sel = Lit::positive(s.solver.new_var());
+    portfolio_clause.push_back(~sel);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (decided[i] != 0) continue;
+      std::vector<Lit> parts;
+      last_frame[i] = violation_assumptions(properties[i], b, s, parts);
+      Lit v;
+      if (parts.size() == 1) {
+        v = parts.front();
+      } else {
+        v = Lit::positive(s.solver.new_var());
+        std::vector<Lit> back{v};
+        for (const Lit part : parts) {
+          s.solver.add_binary(~v, part);
+          back.push_back(~part);
+        }
+        s.solver.add_clause(back);
+      }
+      violation[i] = v;
+      // d -> (activation & violation): retiring the property by unit
+      // ~activation kills its share of every bound's portfolio clause.
+      const Lit d = Lit::positive(s.solver.new_var());
+      s.solver.add_binary(~d, activation[i]);
+      s.solver.add_binary(~d, v);
+      portfolio_clause.push_back(d);
+    }
+    s.solver.add_clause(portfolio_clause);
+
+    multi.bound_conflicts.push_back(0);
+    while (undecided > 0) {
+      const bool sat_here =
+          s.solver.solve({s.act_reset, sel}) == sat::Result::sat;
+      const std::uint64_t delta = s.solver.last_solve_statistics().conflicts;
+      multi.bound_conflicts.back() += delta;
+      multi.total_sat_conflicts += delta;
+      if (!sat_here) break;  // bound b clean for every surviving property
+      // Classify against the portfolio model *before* any counterexample
+      // canonicalisation overwrites it: every property this trace violates
+      // is retired in one round, instead of paying another portfolio solve
+      // per co-falsified property.
+      std::vector<std::size_t> violated;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (decided[i] != 0) continue;
+        const Lit v = violation[i];
+        if (s.solver.model_value(v.var()) != v.negated()) violated.push_back(i);
+      }
+      for (const std::size_t i : violated) {
+        auto& r = multi.results[i];
+        r.status = CheckStatus::falsified;
+        r.bound_used = b;
+        r.sat_conflicts = delta;
+        std::vector<Lit> prefix{s.act_reset, violation[i]};
+        r.counterexample =
+            options.canonical_counterexample
+                ? canonical_counterexample(s, last_frame[i], std::move(prefix),
+                                           r.cex_conflicts)
+                : model_counterexample(s, last_frame[i]);
+        decided[i] = 1;
+        --undecided;
+        s.solver.add_unit(~activation[i]);
+      }
+      if (violated.empty()) {
+        // The portfolio clause forced some d = activation & violation true,
+        // so at least one undecided violation literal must read true.
+        throw std::logic_error{"mc: portfolio model classified no property"};
+      }
+    }
+    s.solver.add_unit(~sel);  // retire this bound's portfolio clause
+  }
+
+  // ---------------- shared-solver induction for the survivors -----------
+  for (std::size_t i = 0; i < n; ++i) {
+    if (decided[i] != 0) continue;
+    auto& r = multi.results[i];
+    r.bound_used = options.max_bound;
+    if (properties[i].kind == PropertyKind::bounded_response) {
+      r.status = CheckStatus::no_cex_within_bound;
+      continue;
+    }
+    const int k = options.induction_depth;
+    std::vector<Lit> assumptions;
+    for (int f = 0; f < k; ++f) assumptions.push_back(holds_at(properties[i], f, s));
+    assumptions.push_back(~holds_at(properties[i], k, s));
+    const bool closed = s.solver.solve(assumptions) == sat::Result::unsat;
+    r.induction_conflicts = s.solver.last_solve_statistics().conflicts;
+    multi.total_sat_conflicts += r.induction_conflicts;
+    if (closed) {
+      r.status = CheckStatus::proved;
+      r.sat_conflicts = r.induction_conflicts;
+    } else {
+      r.status = CheckStatus::no_cex_within_bound;
+    }
+  }
+
+  finalize_solver_stats(s, multi.solver_variables, multi.solver_clauses,
+                        multi.frames_encoded);
+  return multi;
 }
 
 }  // namespace symbad::mc

@@ -23,12 +23,22 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rtl/cnf.hpp"
 #include "rtl/netlist.hpp"
 
 namespace symbad::mc {
+
+/// Memo of property encodings: one literal per (expression node, frame).
+/// Lazy BMC re-visits the same (node, frame) pairs at every deeper bound
+/// (and again in the k-induction step); the cache turns those re-encodes
+/// into lookups instead of fresh Tseitin aux variables and clauses, keeping
+/// solver growth linear in the number of *distinct* frames touched.
+struct EncodeCache {
+  std::map<std::pair<const void*, std::size_t>, sat::Lit> lits;
+};
 
 /// Boolean expression over named netlist outputs.
 class Expr {
@@ -40,10 +50,17 @@ public:
   [[nodiscard]] Expr operator||(const Expr& rhs) const;
   [[nodiscard]] Expr implies(const Expr& rhs) const { return !(*this) || rhs; }
 
-  /// Literal of this expression in an encoded frame (adds Tseitin clauses).
-  [[nodiscard]] sat::Lit encode(rtl::CnfEncoder& encoder, const rtl::Frame& frame) const;
+  /// Literal of this expression at chain frame `frame_index` (adds Tseitin
+  /// clauses on first encounter). Frames are materialised through
+  /// `encoder.frame(frame_index)` — never holding a Frame reference across
+  /// chain growth — and every (node, frame) literal is minted at most once
+  /// per cache, so re-encoding at deeper bounds adds nothing.
+  [[nodiscard]] sat::Lit encode(rtl::CnfEncoder& encoder, std::size_t frame_index,
+                                EncodeCache& cache) const;
   /// Evaluates against a simulator snapshot.
   [[nodiscard]] bool eval(const rtl::Simulator& sim, const rtl::Netlist& netlist) const;
+  /// Appends the output names this expression observes (with duplicates).
+  void collect_signals(std::vector<std::string>& out) const;
   [[nodiscard]] std::string to_string() const;
 
 private:
@@ -95,8 +112,42 @@ struct CheckResult {
   std::vector<std::uint64_t> bound_conflicts;
   /// Conflicts of the k-induction solve (0 when induction did not run).
   std::uint64_t induction_conflicts = 0;
-  /// Sum over every solve this check issued.
+  /// Sum over the BMC and induction solves of this check. Counterexample
+  /// canonicalisation solves are accounted separately in `cex_conflicts`.
   std::uint64_t total_sat_conflicts = 0;
+  /// Conflicts spent canonicalising the counterexample (see
+  /// ModelChecker::Options::canonical_counterexample).
+  std::uint64_t cex_conflicts = 0;
+  /// Final solver size after the check — with cone-of-influence reduction
+  /// these shrink to the property's cone; with the encode cache they stay
+  /// flat when the same (expression, frame) is re-solved.
+  int solver_variables = 0;
+  std::size_t solver_clauses = 0;
+  std::size_t frames_encoded = 0;
+};
+
+/// Outcome of a multi-property portfolio check (ModelChecker::check_all):
+/// per-property verdicts plus the shared-solver aggregates. The portfolio
+/// shares one solve per bound across all undecided properties, so per-bound
+/// conflict deltas live here, not per property; a property's `sat_conflicts`
+/// is the delta of the portfolio solve that falsified it (shared when one
+/// trace falsifies several properties at once).
+struct MultiCheckResult {
+  std::vector<CheckResult> results;  ///< one per property, input order
+  /// bound_conflicts[i] = conflicts of every portfolio solve at bound i.
+  std::vector<std::uint64_t> bound_conflicts;
+  std::uint64_t total_sat_conflicts = 0;
+  int solver_variables = 0;
+  std::size_t solver_clauses = 0;
+  std::size_t frames_encoded = 0;
+
+  [[nodiscard]] std::size_t count(CheckStatus status) const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : results) {
+      if (r.status == status) ++n;
+    }
+    return n;
+  }
 };
 
 class ModelChecker {
@@ -104,6 +155,20 @@ public:
   struct Options {
     int max_bound = 20;
     int induction_depth = 4;  ///< k for k-induction
+    /// Restrict the per-frame encoding to the property's structural cone of
+    /// influence (back-traversal from the observed outputs through gate
+    /// operands and registers, `Netlist::cone_of_influence`). Exact:
+    /// verdicts, bound_used and (canonical) counterexamples are identical
+    /// with the reduction on or off — only solver size changes.
+    bool cone_of_influence = true;
+    /// Canonicalise counterexamples to the lexicographically-least violating
+    /// input trace (frame-major, inputs in declaration order, false < true)
+    /// by greedy assumption solves after the falsifying solve. Makes the
+    /// extracted trace a pure function of the netlist and property —
+    /// independent of CNF shape (cone on/off), solver heuristics and
+    /// platform. Costs at most one solve per input bit that wants to be
+    /// true; disable for falsification-only sweeps that discard traces.
+    bool canonical_counterexample = true;
   };
 
   explicit ModelChecker(const rtl::Netlist& netlist) : netlist_{&netlist} {}
@@ -117,6 +182,25 @@ public:
   [[nodiscard]] CheckResult check_with_faults(const Property& property,
                                               const std::map<rtl::Net, bool>& faults,
                                               Options options) const;
+
+  /// Multi-property portfolio: checks every property on ONE long-lived
+  /// solver. Each property holds an activation literal; each bound asks
+  /// "does any still-undecided property fail here?" in a single portfolio
+  /// solve (one UNSAT clears the whole vector at that bound), falsified
+  /// properties are retired by unit-asserting ~activation so their portfolio
+  /// clauses drop out of propagation, and survivors share the k-induction
+  /// phase on the same solver. The cone of influence is the union over all
+  /// properties. Verdicts match per-property `check` exactly.
+  [[nodiscard]] MultiCheckResult check_all(const std::vector<Property>& properties,
+                                           Options options) const;
+  [[nodiscard]] MultiCheckResult check_all(const std::vector<Property>& properties) const {
+    return check_all(properties, Options{});
+  }
+  /// Portfolio check on a faulty netlist variant (PCC's inner loop: one
+  /// fault, many properties, one solver).
+  [[nodiscard]] MultiCheckResult check_all_with_faults(
+      const std::vector<Property>& properties, const std::map<rtl::Net, bool>& faults,
+      Options options) const;
 
 private:
   const rtl::Netlist* netlist_;

@@ -97,6 +97,9 @@ PccReport check_property_coverage(const rtl::Netlist& netlist,
   const mc::ModelChecker checker{netlist};
   mc::ModelChecker::Options mc_opts;
   mc_opts.max_bound = options.bmc_bound;
+  // PCC only asks *whether* a property falsifies on the faulty netlist;
+  // the traces are discarded, so skip counterexample canonicalisation.
+  mc_opts.canonical_counterexample = false;
 
   for (const auto& [net, stuck_to] : faults) {
     FaultOutcome outcome;
@@ -112,12 +115,15 @@ PccReport check_property_coverage(const rtl::Netlist& netlist,
       ++report.detected_by_simulation;
       continue;
     }
+    // Portfolio BMC: all properties on one solver per fault — undetectable
+    // faults (the common case) cost one UNSAT solve per bound for the whole
+    // property set instead of one BMC sweep per property.
     std::map<rtl::Net, bool> fault_map{{net, stuck_to}};
-    for (const auto& prop : properties) {
-      const auto r = checker.check_with_faults(prop, fault_map, mc_opts);
-      if (r.status == mc::CheckStatus::falsified) {
+    const auto multi = checker.check_all_with_faults(properties, fault_map, mc_opts);
+    for (std::size_t i = 0; i < properties.size(); ++i) {
+      if (multi.results[i].status == mc::CheckStatus::falsified) {
         outcome.detected = true;
-        outcome.detected_by = prop.name;
+        outcome.detected_by = properties[i].name;
         ++report.detected;
         ++report.detected_by_bmc;
         break;

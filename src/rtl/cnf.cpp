@@ -48,18 +48,19 @@ Frame CnfEncoder::encode(const Options& options) {
   const auto& dffs = netlist_->flip_flops();
   (void)dffs;
 
-  if ((options.cone == nullptr) != (options.reuse_base == nullptr)) {
-    throw std::invalid_argument{"cnf: cone and reuse_base must be set together"};
+  if (options.reuse_base != nullptr && options.cone == nullptr) {
+    throw std::invalid_argument{"cnf: reuse_base requires a cone"};
   }
 
   for (std::size_t i = 0; i < netlist_->gate_count(); ++i) {
     const Net net = static_cast<Net>(i);
     const Gate& g = netlist_->gate(net);
     Lit out;
-    // Outside the fault cone the copy behaves identically to the base
-    // frame, so its literal is simply reused — no variables, no clauses.
+    // Out-of-cone nets are not encoded: an ATPG miter copy behaves
+    // identically to the base frame there (literal reused), a COI-reduced
+    // model-checking frame never references them (invalid literal).
     if (options.cone != nullptr && (*options.cone)[i] == 0) {
-      frame.lits[i] = options.reuse_base->lits[i];
+      frame.lits[i] = options.reuse_base != nullptr ? options.reuse_base->lits[i] : Lit{};
       if (g.kind == GateKind::input) ++input_slot;
       if (g.kind == GateKind::dff) ++dff_slot;
       continue;
@@ -158,6 +159,7 @@ std::size_t CnfEncoder::push_frame() {
   auto& s = *solver_;
   Options opts;
   opts.faults = chain_opts_.faults;
+  opts.cone = chain_opts_.cone;
   if (chain_.empty()) {
     const bool conditional = chain_opts_.conditional_reset.valid() &&
                              chain_opts_.first_state == StateInit::reset;
@@ -170,6 +172,10 @@ std::size_t CnfEncoder::push_frame() {
       const Lit gate = ~chain_opts_.conditional_reset;
       for (const Net d : netlist_->flip_flops()) {
         if (chain_opts_.faults != nullptr && chain_opts_.faults->contains(d)) continue;
+        if (chain_opts_.cone != nullptr &&
+            (*chain_opts_.cone)[static_cast<std::size_t>(d)] == 0) {
+          continue;  // out-of-cone register: unencoded, nothing to pin
+        }
         const Lit state_lit = frame.lit(d);
         s.add_binary(gate, netlist_->gate(d).init ? state_lit : ~state_lit);
       }

@@ -51,11 +51,15 @@ public:
     const std::vector<sat::Lit>* shared_inputs = nullptr;
     /// Stuck-at fault overrides: net -> forced value.
     const std::map<Net, bool>* faults = nullptr;
-    /// Cone-of-influence sharing (ATPG miters): nets with (*cone)[net] == 0
-    /// are not encoded at all — their literals are copied from
-    /// `reuse_base`, the matching frame of the good copy. Only the fault's
-    /// fanout cone pays for fresh variables and clauses. Both set or both
-    /// null; `cone` is indexed by net like the netlist.
+    /// Cone restriction: nets with (*cone)[net] == 0 are not encoded at
+    /// all. With `reuse_base` set (ATPG miters) their literals are copied
+    /// from the matching frame of the good copy, so only the fault's fanout
+    /// cone pays for fresh variables and clauses. Without `reuse_base`
+    /// (model-checking cone of influence) they get invalid literals — legal
+    /// only when `cone` is closed under structural support, i.e. no in-cone
+    /// gate reads an out-of-cone net (`Netlist::cone_of_influence`
+    /// guarantees this). `cone` is indexed by net like the netlist;
+    /// `reuse_base` requires `cone`.
     const std::vector<char>* cone = nullptr;
     const Frame* reuse_base = nullptr;
     /// When valid, every emitted clause gets ~activation appended: the
@@ -79,6 +83,11 @@ public:
     /// free variables whose reset values are enforced only while this
     /// literal is assumed true.
     sat::Lit conditional_reset{};
+    /// Cone-of-influence restriction applied to every frame: out-of-cone
+    /// nets are never encoded (invalid literals, no variables, no clauses,
+    /// no reset pinning). Must be closed under structural support — use
+    /// `Netlist::cone_of_influence`. The pointee must outlive the chain.
+    const std::vector<char>* cone = nullptr;
   };
 
   /// Starts (or restarts) the incremental frame chain. Invalidates frames

@@ -102,6 +102,61 @@ const std::string& Netlist::net_name(Net n) const {
   return it == names_.end() ? kEmpty : it->second;
 }
 
+std::vector<char> Netlist::cone_of_influence(const std::vector<Net>& roots) const {
+  std::vector<char> cone(gates_.size(), 0);
+  std::vector<Net> frontier;
+  for (const Net root : roots) {
+    check_operand(root);
+    if (cone[static_cast<std::size_t>(root)] == 0) {
+      cone[static_cast<std::size_t>(root)] = 1;
+      frontier.push_back(root);
+    }
+  }
+  auto visit = [&](Net n) {
+    if (n < 0) return;  // unconnected operand slot
+    auto& mark = cone[static_cast<std::size_t>(n)];
+    if (mark == 0) {
+      mark = 1;
+      frontier.push_back(n);
+    }
+  };
+  while (!frontier.empty()) {
+    const Gate& g = gates_[static_cast<std::size_t>(frontier.back())];
+    frontier.pop_back();
+    switch (g.kind) {
+      case GateKind::not_gate: visit(g.a); break;
+      case GateKind::and_gate:
+      case GateKind::or_gate:
+      case GateKind::xor_gate:
+        visit(g.a);
+        visit(g.b);
+        break;
+      case GateKind::mux:
+        visit(g.a);
+        visit(g.b);
+        visit(g.c);
+        break;
+      case GateKind::dff:
+        // Crossing the register boundary: the dff's value next frame is its
+        // next-state net this frame, so the closure holds at every frame.
+        visit(g.a);
+        break;
+      default:
+        break;  // inputs and constants have no operands
+    }
+  }
+  return cone;
+}
+
+std::vector<Net> Netlist::register_support(const std::vector<Net>& roots) const {
+  const auto cone = cone_of_influence(roots);
+  std::vector<Net> support;
+  for (const Net d : dffs_) {
+    if (cone[static_cast<std::size_t>(d)] != 0) support.push_back(d);
+  }
+  return support;
+}
+
 std::map<GateKind, std::size_t> Netlist::gate_histogram() const {
   std::map<GateKind, std::size_t> hist;
   for (const auto& g : gates_) ++hist[g.kind];

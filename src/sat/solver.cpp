@@ -667,6 +667,8 @@ const Solver::Statistics& Solver::last_solve_statistics() const noexcept {
 
 std::size_t Solver::learned_clause_count() const noexcept { return impl_->learned_live; }
 
+std::size_t Solver::problem_clause_count() const noexcept { return impl_->clauses.size(); }
+
 void Solver::set_reduce_options(const ReduceOptions& options) noexcept {
   impl_->reduce_opts = options;
 }

@@ -118,6 +118,12 @@ public:
   /// Currently live learned clauses (total minus removed by reduction).
   [[nodiscard]] std::size_t learned_clause_count() const noexcept;
 
+  /// Problem clauses of size >= 2 surviving `add_clause` simplification
+  /// (units propagate immediately and are not stored). Deterministic for a
+  /// fixed encoding, which makes it a hard-gateable benchmark counter and
+  /// lets tests pin that re-encoding a cached expression adds nothing.
+  [[nodiscard]] std::size_t problem_clause_count() const noexcept;
+
   void set_reduce_options(const ReduceOptions& options) noexcept;
   [[nodiscard]] const ReduceOptions& reduce_options() const noexcept;
 

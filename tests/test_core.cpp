@@ -243,6 +243,103 @@ TEST(Analytic, ReconfigurationCostsThroughput) {
   EXPECT_GT(no_reconf.frames_per_second, reconf.frames_per_second);
 }
 
+TEST(Explorer, EqualWeightTasksEnumerateDeterministically) {
+  // Equal-weight tasks used to enumerate in platform-dependent order (an
+  // unstable sort on weight alone); the ranking must now be a pure function
+  // of the graph contents — independent of task insertion order.
+  auto build = [](const std::vector<std::string>& names) {
+    core::TaskGraph g;
+    for (const auto& name : names) g.add_task(name, 100);  // all equal weight
+    return g;
+  };
+  const auto g1 = build({"delta", "alpha", "charlie", "bravo"});
+  const auto g2 = build({"bravo", "charlie", "alpha", "delta"});
+  core::Explorer::Options opts;
+  opts.explore_fpga_variants = false;
+  const auto p1 = core::Explorer{g1, core::AnalyticModel{{}}, opts}.explore();
+  const auto p2 = core::Explorer{g2, core::AnalyticModel{{}}, opts}.explore();
+  ASSERT_EQ(p1.size(), p2.size());
+  // The same hardware subset must occupy the same rank regardless of task
+  // insertion order. (Labels list tasks in topological order, which for an
+  // edge-free graph is insertion order — compare the task sets.)
+  auto task_set = [](const std::string& label) {
+    std::vector<std::string> tasks;
+    std::string::size_type start = 0;
+    while (start <= label.size()) {
+      const auto plus = label.find('+', start);
+      tasks.push_back(label.substr(start, plus - start));
+      if (plus == std::string::npos) break;
+      start = plus + 1;
+    }
+    std::sort(tasks.begin(), tasks.end());
+    return tasks;
+  };
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(task_set(p1[i].label), task_set(p2[i].label)) << "rank " << i;
+  }
+  // Equal-weight, equal-merit single-task candidates rank by task name (the
+  // pinned tiebreak), in both insertion orders.
+  auto singles_of = [](const std::vector<core::DesignPoint>& points) {
+    std::vector<std::string> singles;
+    for (const auto& p : points) {
+      if (!p.label.empty() && p.label != "all-SW" &&
+          p.label.find('+') == std::string::npos) {
+        singles.push_back(p.label);
+      }
+    }
+    return singles;
+  };
+  for (const auto* points : {&p1, &p2}) {
+    const auto singles = singles_of(*points);
+    ASSERT_EQ(singles.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(singles.begin(), singles.end()));
+  }
+}
+
+TEST(Explorer, MovableTaskCapSurfacedNotSilent) {
+  core::TaskGraph g;
+  for (int i = 0; i < 5; ++i) {
+    g.add_task("t" + std::to_string(i), 100u * static_cast<unsigned>(i + 1));
+  }
+  core::Explorer::Options opts;
+  opts.explore_fpga_variants = false;
+  opts.max_movable_tasks = 3;
+  // Default: exceeding the enumeration cap throws instead of silently
+  // dropping tasks from the design space.
+  EXPECT_THROW(
+      (void)core::Explorer(g, core::AnalyticModel{{}}, opts).explore(),
+      std::length_error);
+
+  // Opting in truncates to the heaviest tasks and reports the drop.
+  opts.truncate_movable = true;
+  core::ExploreInfo info;
+  const auto points = core::Explorer{g, core::AnalyticModel{{}}, opts}.explore(&info);
+  EXPECT_EQ(info.movable_tasks, 5u);
+  EXPECT_EQ(info.enumerated_tasks, 3u);
+  EXPECT_TRUE(info.truncated());
+  // 2^3 subsets, minus none (max_hw_tasks=4 admits all of them).
+  EXPECT_EQ(points.size(), 8u);
+  // Only the three heaviest tasks (t4, t3, t2) may appear in labels.
+  for (const auto& p : points) {
+    EXPECT_EQ(p.label.find("t0"), std::string::npos) << p.label;
+    EXPECT_EQ(p.label.find("t1"), std::string::npos) << p.label;
+  }
+
+  // A graph within the cap reports no truncation.
+  opts.max_movable_tasks = 16;
+  core::ExploreInfo full_info;
+  (void)core::Explorer{g, core::AnalyticModel{{}}, opts}.explore(&full_info);
+  EXPECT_EQ(full_info.movable_tasks, 5u);
+  EXPECT_EQ(full_info.enumerated_tasks, 5u);
+  EXPECT_FALSE(full_info.truncated());
+
+  // Cap validation: the subset mask is a 64-bit word.
+  opts.max_movable_tasks = 63;
+  EXPECT_THROW(
+      (void)core::Explorer(g, core::AnalyticModel{{}}, opts).explore(),
+      std::invalid_argument);
+}
+
 TEST(Explorer, FindsAcceleratedParetoPoints) {
   auto& cs = case_study();
   core::Explorer::Options opts;

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -254,6 +255,58 @@ TEST(Campaign, ResolveWorkersClampsAndHonoursExplicitRequest) {
   EXPECT_EQ(exec::CampaignRunner::resolve_workers(3), 3);
   EXPECT_EQ(exec::CampaignRunner::resolve_workers(1000), 64);
   EXPECT_GE(exec::CampaignRunner::resolve_workers(0), 1);
+}
+
+namespace {
+
+/// Restores SYMBAD_CAMPAIGN_WORKERS on scope exit (CI sets it for the ASan
+/// pass; the parsing tests below must not leak their values into siblings).
+struct WorkersEnvGuard {
+  std::string saved;
+  bool was_set = false;
+  WorkersEnvGuard() {
+    if (const char* v = std::getenv("SYMBAD_CAMPAIGN_WORKERS")) {
+      saved = v;
+      was_set = true;
+    }
+  }
+  ~WorkersEnvGuard() {
+    if (was_set) {
+      ::setenv("SYMBAD_CAMPAIGN_WORKERS", saved.c_str(), 1);
+    } else {
+      ::unsetenv("SYMBAD_CAMPAIGN_WORKERS");
+    }
+  }
+};
+
+}  // namespace
+
+TEST(Campaign, ResolveWorkersParsesEnvironmentStrictly) {
+  const WorkersEnvGuard guard;
+
+  // Valid values are honoured exactly.
+  ::setenv("SYMBAD_CAMPAIGN_WORKERS", "3", 1);
+  EXPECT_EQ(exec::CampaignRunner::resolve_workers(0), 3);
+  ::setenv("SYMBAD_CAMPAIGN_WORKERS", "64", 1);
+  EXPECT_EQ(exec::CampaignRunner::resolve_workers(0), 64);
+
+  // An explicit request bypasses the environment entirely.
+  ::setenv("SYMBAD_CAMPAIGN_WORKERS", "abc", 1);
+  EXPECT_EQ(exec::CampaignRunner::resolve_workers(2), 2);
+
+  // Garbage used to silently fall back to hardware concurrency; it must
+  // fail loudly instead.
+  for (const char* bad : {"abc", "-3", "0", "65", "3x", "", "4 ", "99999999999"}) {
+    ::setenv("SYMBAD_CAMPAIGN_WORKERS", bad, 1);
+    EXPECT_THROW((void)exec::CampaignRunner::resolve_workers(0), std::invalid_argument)
+        << "value \"" << bad << '"';
+  }
+
+  // Unset: hardware-concurrency fallback, clamped to [1, 64].
+  ::unsetenv("SYMBAD_CAMPAIGN_WORKERS");
+  const int fallback = exec::CampaignRunner::resolve_workers(0);
+  EXPECT_GE(fallback, 1);
+  EXPECT_LE(fallback, 64);
 }
 
 // -------------------------------------------------------------- coverage

@@ -170,6 +170,345 @@ TEST(Mc, CounterexampleReplaysOnSimulator) {
   EXPECT_TRUE(violated);
 }
 
+// ------------------------------------------------- cone of influence
+
+namespace {
+
+/// Every seed property of the saturating-counter fixture, all three kinds.
+std::vector<mc::Property> counter_properties() {
+  std::vector<mc::Property> props;
+  props.push_back(mc::Property::invariant(
+      "at_max_means_all_ones",
+      mc::Expr::signal("at_max").implies(mc::Expr::signal("c[0]") &&
+                                         mc::Expr::signal("c[1]") &&
+                                         mc::Expr::signal("c[2]"))));
+  props.push_back(mc::Property::invariant("never_max", !mc::Expr::signal("at_max")));
+  props.push_back(mc::Property::next("saturation_is_sticky", mc::Expr::signal("at_max"),
+                                     mc::Expr::signal("at_max")));
+  props.push_back(mc::Property::next("bit0_sticky", mc::Expr::signal("c[0]"),
+                                     mc::Expr::signal("c[0]")));
+  props.push_back(mc::Property::respond("max_too_soon", mc::Expr::signal("en_out"),
+                                        mc::Expr::signal("at_max"), 3));
+  props.push_back(mc::Property::respond("trivial", mc::Expr::signal("at_max"),
+                                        mc::Expr::signal("c[0]"), 0));
+  return props;
+}
+
+/// Checks one property with the cone reduction on and off and requires
+/// verdict, bound_used and (canonical) counterexample to be bit-identical.
+void expect_coi_equivalent(const mc::ModelChecker& checker, const mc::Property& prop,
+                           const std::map<symbad::rtl::Net, bool>& faults,
+                           mc::ModelChecker::Options options) {
+  options.cone_of_influence = true;
+  const auto with_cone = checker.check_with_faults(prop, faults, options);
+  options.cone_of_influence = false;
+  const auto without = checker.check_with_faults(prop, faults, options);
+  EXPECT_EQ(with_cone.status, without.status) << prop.name;
+  EXPECT_EQ(with_cone.bound_used, without.bound_used) << prop.name;
+  ASSERT_EQ(with_cone.counterexample.has_value(), without.counterexample.has_value())
+      << prop.name;
+  if (with_cone.counterexample.has_value()) {
+    EXPECT_EQ(with_cone.counterexample->inputs, without.counterexample->inputs)
+        << prop.name;
+  }
+  // The reduction may only shrink the encoding, never grow it.
+  EXPECT_LE(with_cone.solver_variables, without.solver_variables) << prop.name;
+  EXPECT_LE(with_cone.solver_clauses, without.solver_clauses) << prop.name;
+}
+
+}  // namespace
+
+TEST(McCoi, EquivalentOnEverySeedProperty) {
+  // Acceptance gate of the COI tentpole: for every seed property (counter,
+  // wrapper FSM, ROOT core), verdict, bound_used and counterexample are
+  // identical with the reduction enabled vs disabled.
+  {
+    const auto counter = saturating_counter();
+    const mc::ModelChecker checker{counter};
+    for (const auto& prop : counter_properties()) {
+      expect_coi_equivalent(checker, prop, {}, {});
+    }
+  }
+  {
+    const auto fsm = app::build_wrapper_fsm();
+    const mc::ModelChecker checker{fsm};
+    for (const auto& prop : app::wrapper_properties_extended()) {
+      expect_coi_equivalent(checker, prop, {}, {12, 4});
+    }
+  }
+  {
+    const auto root = app::build_root_rtl();
+    const mc::ModelChecker checker{root};
+    const auto prop = mc::Property::invariant(
+        "busy_xor_done_weak",
+        !(mc::Expr::signal("busy") && mc::Expr::signal("done")));
+    expect_coi_equivalent(checker, prop, {}, {10, 3});
+  }
+}
+
+TEST(McCoi, EquivalentUnderInjectedFaults) {
+  // The fault variants PCC exercises: stuck-at faults on internal wrapper
+  // nets, both polarities, checked with the cone on and off.
+  const auto fsm = app::build_wrapper_fsm();
+  const mc::ModelChecker checker{fsm};
+  const auto props = app::wrapper_properties_initial();
+  std::vector<symbad::rtl::Net> sites;
+  for (std::size_t i = 0; i < fsm.gate_count() && sites.size() < 4; ++i) {
+    const auto kind = fsm.gate(static_cast<symbad::rtl::Net>(i)).kind;
+    if (kind == symbad::rtl::GateKind::and_gate || kind == symbad::rtl::GateKind::dff) {
+      sites.push_back(static_cast<symbad::rtl::Net>(i));
+    }
+  }
+  ASSERT_GE(sites.size(), 2u);
+  for (const auto site : sites) {
+    for (const bool stuck_to : {false, true}) {
+      const std::map<symbad::rtl::Net, bool> faults{{site, stuck_to}};
+      for (const auto& prop : props) {
+        expect_coi_equivalent(checker, prop, faults, {6, 3});
+      }
+    }
+  }
+}
+
+TEST(McCoi, ReducesEncodingWhenPropertyObservesOutputSubset) {
+  // The ROOT core has a wide result datapath; a property over the control
+  // outputs only (busy/done — a strict subset of the outputs) must drop the
+  // datapath cone from the encoding.
+  const auto root = app::build_root_rtl();
+  ASSERT_GT(root.outputs().size(), 2u);  // busy, done, result[11:0]
+  const mc::ModelChecker checker{root};
+  const auto prop = mc::Property::invariant(
+      "busy_done_exclusive", !(mc::Expr::signal("busy") && mc::Expr::signal("done")));
+  mc::ModelChecker::Options options{10, 3};
+  options.cone_of_influence = true;
+  const auto reduced = checker.check(prop, options);
+  options.cone_of_influence = false;
+  const auto full = checker.check(prop, options);
+  EXPECT_EQ(reduced.status, full.status);
+  EXPECT_LT(reduced.solver_variables, full.solver_variables);
+  EXPECT_LT(reduced.solver_clauses, full.solver_clauses);
+}
+
+// ----------------------------------------------------- encode cache
+
+TEST(McEncodeCache, ReEncodingSameNodeAndFrameAddsNothing) {
+  // Regression for the duplicate aux-var/clause leak: before the cache,
+  // every `Expr::encode` of the same node at the same frame minted fresh
+  // Tseitin variables and clauses (O(bound^2) growth for bounded_response).
+  const auto n = saturating_counter();
+  symbad::sat::Solver solver;
+  rtl::CnfEncoder encoder{n, solver};
+  encoder.begin_chain({});
+  mc::EncodeCache cache;
+  const auto expr = mc::Expr::signal("at_max") &&
+                    (mc::Expr::signal("c[0]") || !mc::Expr::signal("c[1]"));
+
+  const auto first = expr.encode(encoder, 2, cache);
+  const int vars_after_first = solver.variable_count();
+  const std::size_t clauses_after_first = solver.problem_clause_count();
+  const auto second = expr.encode(encoder, 2, cache);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(solver.variable_count(), vars_after_first);
+  EXPECT_EQ(solver.problem_clause_count(), clauses_after_first);
+  // A different frame is a different cache entry.
+  const auto deeper = expr.encode(encoder, 3, cache);
+  EXPECT_NE(deeper, first);
+  EXPECT_GT(solver.variable_count(), vars_after_first);
+}
+
+TEST(McEncodeCache, BoundedResponseSolverGrowthIsLinearInBound) {
+  // bounded_response at bound i re-visits the consequent at frames i..i+k;
+  // without the cache every deeper bound re-Tseitins those nodes afresh and
+  // the encoding grows quadratically. With it, each extra bound pays a
+  // constant: one new frame plus one new (node, frame) set — so the clause
+  // and variable growth per 8 bounds is *exactly* the same at any depth.
+  const auto n = saturating_counter();
+  const mc::ModelChecker checker{n};
+  const auto prop = mc::Property::respond(
+      "max_settles", mc::Expr::signal("at_max"),
+      mc::Expr::signal("c[0]") && mc::Expr::signal("c[1]"), 2);
+  auto clean_check = [&](int max_bound) {
+    mc::ModelChecker::Options options;
+    options.max_bound = max_bound;
+    const auto result = checker.check(prop, options);
+    EXPECT_EQ(result.status, mc::CheckStatus::no_cex_within_bound);
+    return result;
+  };
+  const auto r8 = clean_check(8);
+  const auto r16 = clean_check(16);
+  const auto r24 = clean_check(24);
+  EXPECT_EQ(r24.solver_clauses - r16.solver_clauses,
+            r16.solver_clauses - r8.solver_clauses);
+  EXPECT_EQ(r24.solver_variables - r16.solver_variables,
+            r16.solver_variables - r8.solver_variables);
+}
+
+// ------------------------------------------------- portfolio check_all
+
+TEST(McPortfolio, CheckAllMatchesIndividualChecks) {
+  // The portfolio runs every property on one solver; verdicts, bounds and
+  // canonical counterexamples must match per-property `check` exactly.
+  const auto n = saturating_counter();
+  const mc::ModelChecker checker{n};
+  const auto props = counter_properties();
+  const mc::ModelChecker::Options options;
+  const auto multi = checker.check_all(props, options);
+  ASSERT_EQ(multi.results.size(), props.size());
+  for (std::size_t i = 0; i < props.size(); ++i) {
+    const auto single = checker.check(props[i], options);
+    const auto& shared = multi.results[i];
+    EXPECT_EQ(shared.status, single.status) << props[i].name;
+    EXPECT_EQ(shared.bound_used, single.bound_used) << props[i].name;
+    ASSERT_EQ(shared.counterexample.has_value(), single.counterexample.has_value())
+        << props[i].name;
+    if (shared.counterexample.has_value()) {
+      EXPECT_EQ(shared.counterexample->inputs, single.counterexample->inputs)
+          << props[i].name;
+    }
+  }
+  EXPECT_EQ(multi.count(mc::CheckStatus::falsified), 3u);
+  EXPECT_EQ(multi.count(mc::CheckStatus::proved), 2u);
+  EXPECT_EQ(multi.count(mc::CheckStatus::no_cex_within_bound), 1u);
+  EXPECT_GT(multi.frames_encoded, 0u);
+  // One portfolio solve per bound serves all surviving properties: far
+  // fewer solves than six independent 20-bound sweeps would need; the
+  // shared accounting has one entry per bound actually attempted.
+  EXPECT_LE(multi.bound_conflicts.size(),
+            static_cast<std::size_t>(options.max_bound) + 1);
+}
+
+TEST(McPortfolio, CheckAllOnWrapperSuiteProvesEverything) {
+  const auto fsm = app::build_wrapper_fsm();
+  const mc::ModelChecker checker{fsm};
+  const auto multi = checker.check_all(app::wrapper_properties_extended(), {12, 4});
+  for (const auto& r : multi.results) {
+    EXPECT_NE(r.status, mc::CheckStatus::falsified);
+  }
+  EXPECT_EQ(multi.count(mc::CheckStatus::falsified), 0u);
+}
+
+TEST(McPortfolio, CheckAllConeEquivalence) {
+  const auto n = saturating_counter();
+  const mc::ModelChecker checker{n};
+  const auto props = counter_properties();
+  mc::ModelChecker::Options options;
+  options.cone_of_influence = true;
+  const auto reduced = checker.check_all(props, options);
+  options.cone_of_influence = false;
+  const auto full = checker.check_all(props, options);
+  ASSERT_EQ(reduced.results.size(), full.results.size());
+  for (std::size_t i = 0; i < props.size(); ++i) {
+    EXPECT_EQ(reduced.results[i].status, full.results[i].status) << props[i].name;
+    EXPECT_EQ(reduced.results[i].bound_used, full.results[i].bound_used)
+        << props[i].name;
+    ASSERT_EQ(reduced.results[i].counterexample.has_value(),
+              full.results[i].counterexample.has_value());
+    if (reduced.results[i].counterexample.has_value()) {
+      EXPECT_EQ(reduced.results[i].counterexample->inputs,
+                full.results[i].counterexample->inputs)
+          << props[i].name;
+    }
+  }
+  EXPECT_LE(reduced.solver_variables, full.solver_variables);
+}
+
+TEST(McPortfolio, EmptyPropertyListIsEmptyResult) {
+  const auto n = saturating_counter();
+  const mc::ModelChecker checker{n};
+  const auto multi = checker.check_all({});
+  EXPECT_TRUE(multi.results.empty());
+  EXPECT_EQ(multi.total_sat_conflicts, 0u);
+}
+
+// ------------------------------------- counterexample edge cases
+
+TEST(McCex, BoundedResponseFalsificationSpansResponseWindow) {
+  // "en leads to at_max within 3" is violated from reset: the violation at
+  // bound 0 spans frames 0..3 (`last = i + response_bound`), so the trace
+  // must cover the whole response window, not just the failing bound.
+  const auto n = saturating_counter();
+  const mc::ModelChecker checker{n};
+  const auto prop = mc::Property::respond("max_too_soon", mc::Expr::signal("en_out"),
+                                          mc::Expr::signal("at_max"), 3);
+  const auto result = checker.check(prop);
+  ASSERT_EQ(result.status, mc::CheckStatus::falsified);
+  ASSERT_TRUE(result.counterexample.has_value());
+  const auto& inputs = result.counterexample->inputs;
+  ASSERT_EQ(inputs.size(),
+            static_cast<std::size_t>(result.bound_used + prop.response_bound + 1));
+
+  // Replay: some cycle t has en asserted while at_max stays low through
+  // t..t+3 — the bounded-response violation, observed in simulation.
+  rtl::Simulator sim{n};
+  std::vector<bool> p_trace;
+  std::vector<bool> q_trace;
+  for (const auto& frame : inputs) {
+    for (const auto& [name, value] : frame) sim.set_input(name, value);
+    sim.eval();
+    p_trace.push_back(sim.output("en_out"));
+    q_trace.push_back(sim.output("at_max"));
+    sim.step();
+  }
+  bool violated = false;
+  for (std::size_t t = 0; t + 3 < p_trace.size(); ++t) {
+    if (!p_trace[t]) continue;
+    bool responded = false;
+    for (std::size_t d = t; d <= t + 3; ++d) responded = responded || q_trace[d];
+    violated = violated || !responded;
+  }
+  EXPECT_TRUE(violated);
+}
+
+TEST(McCex, FaultyCounterexampleReplaysUnderInjectedFault) {
+  // Stuck-at-0 on the counter's `hold` mux select (the OR of at_max and
+  // !en) makes the counter free-run: "never_max" fails even with `en`
+  // deasserted. The extracted trace must reproduce the violation on a
+  // simulator carrying the same injected fault.
+  const auto n = saturating_counter();
+  const mc::ModelChecker checker{n};
+  const symbad::rtl::Net at_max = n.output("at_max");
+  symbad::rtl::Net hold = -1;
+  for (std::size_t i = 0; i < n.gate_count(); ++i) {
+    const auto& g = n.gate(static_cast<symbad::rtl::Net>(i));
+    if (g.kind == symbad::rtl::GateKind::or_gate && g.a == at_max) {
+      hold = static_cast<symbad::rtl::Net>(i);
+      break;
+    }
+  }
+  ASSERT_GE(hold, 0);
+  const std::map<symbad::rtl::Net, bool> faults{{hold, false}};
+  const auto prop = mc::Property::invariant("never_max", !mc::Expr::signal("at_max"));
+  const auto result = checker.check_with_faults(prop, faults, {});
+  ASSERT_EQ(result.status, mc::CheckStatus::falsified);
+  ASSERT_TRUE(result.counterexample.has_value());
+  // The canonical trace is all-false: the fault itself drives the counter.
+  for (const auto& frame : result.counterexample->inputs) {
+    for (const auto& [name, value] : frame) EXPECT_FALSE(value) << name;
+  }
+
+  rtl::Simulator sim{n};
+  sim.inject_stuck_at(hold, false);
+  bool violated = false;
+  for (const auto& frame : result.counterexample->inputs) {
+    for (const auto& [name, value] : frame) sim.set_input(name, value);
+    sim.eval();
+    violated = violated || !prop.antecedent.eval(sim, n);
+    sim.step();
+  }
+  EXPECT_TRUE(violated);
+
+  // Control: without the fault the same all-false trace is innocent.
+  rtl::Simulator clean{n};
+  bool clean_violated = false;
+  for (const auto& frame : result.counterexample->inputs) {
+    for (const auto& [name, value] : frame) clean.set_input(name, value);
+    clean.eval();
+    clean_violated = clean_violated || !prop.antecedent.eval(clean, n);
+    clean.step();
+  }
+  EXPECT_FALSE(clean_violated);
+}
+
 // ------------------------------------------------------- case-study RTL
 
 TEST(RootRtl, MatchesReferenceForSampledOperands) {

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "rtl/cnf.hpp"
+#include "rtl/cone.hpp"
 #include "rtl/netlist.hpp"
 #include "rtl/wordops.hpp"
 #include "sat/solver.hpp"
@@ -434,4 +435,109 @@ TEST(CnfChain, PushFrameBeforeBeginChainThrows) {
   sat::Solver solver;
   rtl::CnfEncoder encoder{n, solver};
   EXPECT_THROW((void)encoder.push_frame(), std::logic_error);
+}
+
+// ------------------------------------------------------- cone traversals
+
+namespace {
+
+/// Two independent halves sharing the inputs' namespace: a 1-bit toggle
+/// register driving output "t", and a combinational AND driving output "y".
+Netlist make_two_cone_netlist() {
+  Netlist n{"twocone"};
+  const Net en = n.add_input("en");
+  const Net a = n.add_input("a");
+  const Net b = n.add_input("b");
+  const Net t = n.add_dff(false, "t");
+  n.connect_next(t, n.add_xor(t, en));
+  n.set_output("t", t);
+  n.set_output("y", n.add_and(a, b));
+  return n;
+}
+
+}  // namespace
+
+TEST(Netlist, ConeOfInfluenceClosesOverRegisters) {
+  const Netlist n = make_two_cone_netlist();
+  const Net t = n.output("t");
+  const auto cone = n.cone_of_influence({t});
+  // The register pulls in its next-state XOR and the `en` input...
+  EXPECT_NE(cone[static_cast<std::size_t>(t)], 0);
+  EXPECT_NE(cone[static_cast<std::size_t>(n.input("en"))], 0);
+  EXPECT_NE(cone[static_cast<std::size_t>(n.gate(t).a)], 0);
+  // ...but not the unrelated combinational half.
+  EXPECT_EQ(cone[static_cast<std::size_t>(n.input("a"))], 0);
+  EXPECT_EQ(cone[static_cast<std::size_t>(n.input("b"))], 0);
+  EXPECT_EQ(cone[static_cast<std::size_t>(n.output("y"))], 0);
+
+  EXPECT_EQ(n.register_support({t}), std::vector<Net>{t});
+  EXPECT_TRUE(n.register_support({n.output("y")}).empty());
+}
+
+TEST(Netlist, ConeTracerCrossesRegisterBoundaryForward) {
+  // Forward fault cone of `en`: frame 0 reaches the XOR (next-state) but
+  // not the register output; from frame 1 on the corruption has latched.
+  const Netlist n = make_two_cone_netlist();
+  const rtl::ConeTracer tracer{n};
+  const Net t = n.output("t");
+  const auto cones = tracer.fault_cones(n.input("en"), 3);
+  ASSERT_EQ(cones.size(), 3u);
+  EXPECT_EQ(cones[0][static_cast<std::size_t>(t)], 0);
+  EXPECT_NE(cones[0][static_cast<std::size_t>(n.gate(t).a)], 0);
+  EXPECT_NE(cones[1][static_cast<std::size_t>(t)], 0);
+  EXPECT_NE(cones[2][static_cast<std::size_t>(t)], 0);
+  // The unrelated AND half never enters the fault cone.
+  for (const auto& frame : cones) {
+    EXPECT_EQ(frame[static_cast<std::size_t>(n.output("y"))], 0);
+  }
+}
+
+TEST(CnfChain, ConeRestrictionSkipsOutOfConeLogicAndPreservesBehaviour) {
+  // A chain restricted to output "t"'s cone must answer reachability
+  // questions about "t" identically to the full encoding while never
+  // allocating variables for the unrelated AND half.
+  const Netlist n = make_two_cone_netlist();
+  const auto cone = n.cone_of_influence({n.output("t")});
+
+  auto toggle_reachable = [&](const std::vector<char>* restrict_cone,
+                              int& variables) {
+    sat::Solver solver;
+    rtl::CnfEncoder encoder{n, solver};
+    rtl::CnfEncoder::ChainOptions chain;
+    chain.cone = restrict_cone;
+    encoder.begin_chain(chain);
+    const sat::Lit t1 = encoder.frame(1).lit(n.output("t"));
+    const bool can_be_high = solver.solve({t1}) == sat::Result::sat;
+    const bool can_be_low = solver.solve({~t1}) == sat::Result::sat;
+    variables = solver.variable_count();
+    EXPECT_TRUE(can_be_high);  // en=1 toggles 0 -> 1
+    EXPECT_TRUE(can_be_low);   // en=0 holds 0
+    return std::make_pair(can_be_high, can_be_low);
+  };
+
+  int full_vars = 0;
+  int cone_vars = 0;
+  const auto full = toggle_reachable(nullptr, full_vars);
+  const auto reduced = toggle_reachable(&cone, cone_vars);
+  EXPECT_EQ(full, reduced);
+  EXPECT_LT(cone_vars, full_vars);
+
+  // Out-of-cone nets carry invalid literals — they were never encoded.
+  sat::Solver solver;
+  rtl::CnfEncoder encoder{n, solver};
+  rtl::CnfEncoder::ChainOptions chain;
+  chain.cone = &cone;
+  encoder.begin_chain(chain);
+  EXPECT_FALSE(encoder.frame(0).lit(n.output("y")).valid());
+  EXPECT_TRUE(encoder.frame(0).lit(n.output("t")).valid());
+}
+
+TEST(Cnf, ReuseBaseWithoutConeThrows) {
+  const Netlist n = make_two_cone_netlist();
+  sat::Solver solver;
+  rtl::CnfEncoder encoder{n, solver};
+  const rtl::Frame base = encoder.encode({});
+  rtl::CnfEncoder::Options opts;
+  opts.reuse_base = &base;
+  EXPECT_THROW((void)encoder.encode(opts), std::invalid_argument);
 }
