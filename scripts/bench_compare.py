@@ -52,10 +52,14 @@ def main() -> int:
                         help="allowed fractional regression (0.20 = 20%%)")
     parser.add_argument("--time-mode", choices=("fail", "warn"), default="fail",
                         help="whether real_time regressions fail or only warn")
-    parser.add_argument("--counter-pattern", default=r"alloc|conflict|encoded_",
+    parser.add_argument("--counter-pattern",
+                        default=r"alloc|conflict|encoded_|gates_",
                         help="regex of counter names that hard-fail on regression "
                              "(host-independent metrics only: allocation counts, "
-                             "SAT conflicts, encoded CNF vars/clauses)")
+                             "SAT conflicts — incl. the optimizer's sweep_conflicts "
+                             "— encoded CNF vars/clauses, and optimizer gate "
+                             "counts; sweep_proofs is deliberately ungated because "
+                             "this gate is one-sided and more proofs is better)")
     args = parser.parse_args()
 
     baseline = load(args.baseline)

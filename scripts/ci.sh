@@ -2,11 +2,11 @@
 # CI gate for the Symbad repro: the tier-1 build+test loop, a parallel-safety
 # pass over the unit label, an AddressSanitizer configure/build/ctest pass
 # with the threaded campaign runner explicitly exercised at 4 workers, and a
-# perf-regression pass over the SAT/MC/kernel benches against the committed
-# BENCH_BASELINE.json. Timings are warn-only (this runs on a shared 1-core
-# host where wall-clock swings with neighbours); allocation-count,
-# conflict-count and encoded-CNF-size counters are host-independent and
-# hard-fail beyond 20%.
+# perf-regression pass over the SAT/MC/opt/kernel benches against the
+# committed BENCH_BASELINE.json. Timings are warn-only (this runs on a
+# shared 1-core host where wall-clock swings with neighbours);
+# allocation-count, conflict-count, encoded-CNF-size and optimizer
+# gate/sweep counters are host-independent and hard-fail beyond 20%.
 # Any failure exits nonzero.
 #
 # Usage: scripts/ci.sh [jobs]   (jobs defaults to nproc)
@@ -25,8 +25,8 @@ echo "==> [2/5] parallel-safety: ctest -L unit -j (suites must tolerate"
 echo "    concurrent siblings — shared fixtures, tmp dirs, env)"
 ctest --test-dir build --output-on-failure -L unit -j "$((JOBS * 2))"
 
-echo "==> [3/5] perf regression: SAT/MC/kernel benches vs BENCH_BASELINE.json"
-BENCH_ONLY="bench_sat bench_mc bench_mc_pcc bench_atpg bench_level2_sim" \
+echo "==> [3/5] perf regression: SAT/MC/opt/kernel benches vs BENCH_BASELINE.json"
+BENCH_ONLY="bench_sat bench_mc bench_mc_pcc bench_atpg bench_opt bench_level2_sim" \
   BENCH_OUT=build/bench_candidate.json \
   BENCH_JSON_DIR=build/bench_candidate \
   scripts/bench_baseline.sh build
@@ -37,6 +37,8 @@ SYMBAD_SANITIZE=address cmake -B build-asan -S .
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "==> [5/5] threaded campaign runner under ASan (4 workers)"
+echo "==> [5/5] threaded campaign runner under ASan (4 workers; step 4's"
+echo "    full ctest already covers every suite incl. test_opt sanitized —"
+echo "    this re-run exists for the non-default worker count)"
 SYMBAD_CAMPAIGN_WORKERS=4 ./build-asan/test_exec
 echo "==> CI green"

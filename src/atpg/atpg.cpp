@@ -1,7 +1,9 @@
 #include "atpg/atpg.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "opt/optimizer.hpp"
 #include "rtl/cnf.hpp"
 #include "sat/solver.hpp"
 
@@ -183,17 +185,54 @@ bool Laerte::detects_seeded_memory_bug(const Testbench& tb) const {
 
 // -------------------------------------------------------- SAT engine
 
+namespace {
+
+/// Good-circuit preprocessing: merge/fold only, never drop — the faulty
+/// copies translate arbitrary out-of-cone operands through the map, so it
+/// must stay total.
+std::optional<opt::OptimizeResult> preprocess_good(const rtl::Netlist& netlist,
+                                                   bool optimize) {
+  if (!optimize) return std::nullopt;
+  opt::OptimizerOptions oo = opt::OptimizerOptions::from_env();
+  if (!oo.enabled) return std::nullopt;
+  oo.keep_all_nets = true;
+  return opt::optimize(netlist, oo);
+}
+
+}  // namespace
+
 SatEngine::SatEngine(const rtl::Netlist& netlist, Options options)
     : netlist_{&netlist},
       options_{options},
       encoder_{netlist, solver_},
       cones_{netlist} {
-  // The good unrolling is shared by every fault and encoded exactly once.
+  // The good unrolling is shared by every fault and encoded exactly once —
+  // from the optimized netlist when preprocessing is on, with every frame
+  // translated back to original-net indexing through the (total) NetMap.
+  // Only the translated literals outlive construction; the optimized
+  // netlist copy and its map are released here.
+  const auto optimized = preprocess_good(netlist, options_.optimize);
+  std::optional<rtl::CnfEncoder> good_encoder;
+  std::vector<rtl::Frame> good_opt;  // optimized indexing, for chaining only
+  if (optimized) good_encoder.emplace(optimized->netlist, solver_);
   for (int f = 0; f < options_.unroll; ++f) {
     rtl::CnfEncoder::Options good_opts;
     good_opts.state = f == 0 ? rtl::StateInit::reset : rtl::StateInit::chained;
-    if (f > 0) good_opts.previous = &good_.back();
-    good_.push_back(encoder_.encode(good_opts));
+    if (optimized) {
+      if (f > 0) good_opts.previous = &good_opt.back();
+      good_opt.push_back(good_encoder->encode(good_opts));
+      rtl::Frame translated;
+      translated.lits.resize(netlist.gate_count());
+      for (std::size_t i = 0; i < netlist.gate_count(); ++i) {
+        translated.lits[i] =
+            good_opt.back().lits[static_cast<std::size_t>(
+                optimized->map.translate(static_cast<rtl::Net>(i)))];
+      }
+      good_.push_back(std::move(translated));
+    } else {
+      if (f > 0) good_opts.previous = &good_.back();
+      good_.push_back(encoder_.encode(good_opts));
+    }
     std::vector<sat::Lit> shared;
     for (const rtl::Net in : netlist.inputs()) shared.push_back(good_.back().lit(in));
     shared_inputs_.push_back(std::move(shared));
@@ -279,7 +318,12 @@ std::vector<SatEngine::FaultResult> SatEngine::generate_tests(
 
 std::optional<SatTest> sat_generate_test(const rtl::Netlist& netlist, rtl::Net fault_net,
                                          bool stuck_to, int unroll) {
-  SatEngine engine{netlist, {unroll}};
+  // One fault, one throwaway engine: the optimizer pipeline (and its SAT
+  // sweep in particular) costs more than the single solve it would shrink,
+  // so the one-shot wrapper skips preprocessing. Multi-fault sessions
+  // construct SatEngine directly and keep it on, where the one-time cost
+  // amortizes across the fault list.
+  SatEngine engine{netlist, {unroll, /*optimize=*/false}};
   return engine.generate(fault_net, stuck_to);
 }
 

@@ -128,6 +128,16 @@ class SatEngine {
 public:
   struct Options {
     int unroll = 4;  ///< time frames for both circuit copies
+    /// Preprocess the *good* circuit through the opt:: pass pipeline
+    /// before encoding (structural hashing, rewriting, SAT sweeping; no
+    /// dead-gate elimination, so the old->new NetMap stays total). The
+    /// faulty copies still encode the original netlist — stuck-at
+    /// semantics live on the as-built structure — but share the optimized
+    /// good copy's literals for everything outside the fault cone, via
+    /// map-translated frames. Exact: per-fault detectability is identical
+    /// with preprocessing on or off. Tuned/disabled globally by the
+    /// SYMBAD_OPT* environment knobs.
+    bool optimize = true;
   };
 
   struct FaultResult {
@@ -156,11 +166,16 @@ private:
   const rtl::Netlist* netlist_;
   Options options_;
   sat::Solver solver_;
-  rtl::CnfEncoder encoder_;
+  rtl::CnfEncoder encoder_;  ///< encodes the faulty copies (original netlist)
   /// Shared forward-cone traversal (rtl::ConeTracer): cones_.fault_cones()
   /// tells which nets per frame can differ from the good copy — only those
   /// are re-encoded per fault.
   rtl::ConeTracer cones_;
+  /// Good-copy frames in *original* netlist indexing. With preprocessing
+  /// on, these are the optimized encoding's literals translated through
+  /// the NetMap, so fault miters and model extraction never care whether
+  /// the good copy was optimized (the optimized netlist itself is a
+  /// constructor local — only its literals survive, in these frames).
   std::vector<rtl::Frame> good_;
   std::vector<std::vector<sat::Lit>> shared_inputs_;  ///< per frame, input order
 };

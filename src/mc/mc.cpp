@@ -1,8 +1,12 @@
 #include "mc/mc.hpp"
 
 #include <algorithm>
+#include <deque>
+#include <optional>
 #include <span>
 #include <stdexcept>
+
+#include "opt/optimizer.hpp"
 
 namespace symbad::mc {
 
@@ -157,40 +161,129 @@ Property Property::respond(std::string name, Expr p, Expr q, int within) {
 
 namespace {
 
+/// Output names a property set observes (with duplicates removed). The
+/// optional `decided` mask drops retired properties (live-cone
+/// recomputation passes it to keep only the survivors).
+std::vector<std::string> observed_outputs(std::span<const Property> properties,
+                                          const std::vector<char>* decided = nullptr) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < properties.size(); ++i) {
+    if (decided != nullptr && (*decided)[i] != 0) continue;
+    properties[i].antecedent.collect_signals(names);
+    properties[i].consequent.collect_signals(names);
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
 /// One long-lived solver + frame chain + encode cache serving every BMC
 /// bound, the k-induction step and (in check_all) every property. Assuming
 /// `act_reset` pins frame 0 to the reset state (BMC); leaving it free makes
-/// frame 0 an arbitrary state (induction). With cone-of-influence reduction
-/// the chain only ever encodes the union cone of the checked properties.
+/// frame 0 an arbitrary state (induction). With preprocessing on, the
+/// encoding target is the opt::-optimized netlist (faults baked in as
+/// constants, only the observed outputs preserved when the cone reduction
+/// is also on); with cone-of-influence reduction the chain only ever
+/// encodes the union cone of the checked properties.
 struct Session {
-  const rtl::Netlist* netlist;
+  const rtl::Netlist* original;
+  const std::map<rtl::Net, bool>* faults;  ///< original-net keyed
+  std::optional<opt::OptimizeResult> optimized;
+  const rtl::Netlist* netlist;  ///< encoding target (optimized or original)
   sat::Solver solver;
   rtl::CnfEncoder encoder;
   EncodeCache cache;
   Lit act_reset;
-  std::vector<char> cone;  ///< empty when the reduction is off
+  /// Chain-cone storage: back() is the live cone. A deque so the pointer
+  /// handed to the encoder stays valid when live-cone recomputation
+  /// appends a smaller one. Empty when the reduction is off.
+  std::deque<std::vector<char>> cones;
+
+  static std::optional<opt::OptimizeResult> preprocess(
+      const rtl::Netlist& n, std::span<const Property> properties,
+      const std::map<rtl::Net, bool>& faults, const ModelChecker::Options& options) {
+    if (!options.optimize) return std::nullopt;
+    opt::OptimizerOptions oo = opt::OptimizerOptions::from_env();
+    if (!oo.enabled) return std::nullopt;
+    if (options.cone_of_influence) oo.preserve_outputs = observed_outputs(properties);
+    if (!faults.empty()) {
+      oo.faults = &faults;
+      // Fault-grading sessions (PCC) are one netlist rebuild per fault:
+      // sweeping would re-prove the same fault-independent merges for
+      // every fault and cannot amortize. The structural pass still folds
+      // the cone downstream of the baked fault constant, which is where
+      // the per-fault reduction actually comes from.
+      oo.sweep = false;
+    }
+    return opt::optimize(n, oo);
+  }
 
   Session(const rtl::Netlist& n, std::span<const Property> properties,
-          const std::map<rtl::Net, bool>& faults, const ModelChecker::Options& options)
-      : netlist{&n}, encoder{n, solver} {
-    if (options.cone_of_influence) {
-      std::vector<std::string> names;
-      for (const auto& p : properties) {
-        p.antecedent.collect_signals(names);
-        p.consequent.collect_signals(names);
-      }
-      std::vector<rtl::Net> roots;
-      roots.reserve(names.size());
-      for (const auto& name : names) roots.push_back(n.output(name));
-      cone = n.cone_of_influence(roots);
-    }
+          const std::map<rtl::Net, bool>& faults_in, const ModelChecker::Options& options)
+      : original{&n},
+        faults{&faults_in},
+        optimized{preprocess(n, properties, faults_in, options)},
+        netlist{optimized ? &optimized->netlist : &n},
+        encoder{*netlist, solver} {
     act_reset = Lit::positive(solver.new_var());
     rtl::CnfEncoder::ChainOptions chain;
     chain.first_state = rtl::StateInit::reset;
     chain.conditional_reset = act_reset;
-    chain.cone = cone.empty() ? nullptr : &cone;
-    if (!faults.empty()) chain.faults = &faults;
+    if (options.cone_of_influence) {
+      cones.push_back(netlist->cone_of_influence(roots_of(properties)));
+      chain.cone = &cones.back();
+    }
+    // With preprocessing the faults are already baked into the netlist.
+    if (!faults_in.empty() && !optimized) chain.faults = &faults_in;
     encoder.begin_chain(chain);
+  }
+
+  std::vector<rtl::Net> roots_of(std::span<const Property> properties) const {
+    std::vector<rtl::Net> roots;
+    for (const auto& name : observed_outputs(properties)) {
+      roots.push_back(netlist->output(name));
+    }
+    return roots;
+  }
+
+  /// Literal of an *original* primary input at chain frame f; invalid when
+  /// the input is outside the encoded cone (or orphaned by optimization),
+  /// in which case its value cannot matter.
+  Lit input_lit(std::size_t f, rtl::Net original_input) {
+    const rtl::Net target =
+        optimized ? optimized->map.translate(original_input) : original_input;
+    if (target < 0) return Lit{};
+    return encoder.frame(f).lit(target);
+  }
+
+  /// Value pinned onto an input by an injected stuck-at fault, if any.
+  std::optional<bool> forced_input(rtl::Net original_input) const {
+    const auto it = faults->find(original_input);
+    if (it == faults->end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Live-cone recomputation (Options::live_cone): restrict frames not yet
+  /// encoded to the union cone of the still-undecided properties. Returns
+  /// true when the cone actually shrank. Exact — the new cone is a union
+  /// over a subset of the old root set, hence a subset of the old cone and
+  /// still closed under structural support.
+  bool shrink_cone(const std::vector<Property>& properties,
+                   const std::vector<char>& decided) {
+    if (cones.empty()) return false;  // reduction off
+    std::vector<rtl::Net> roots;
+    for (const auto& name :
+         observed_outputs({properties.data(), properties.size()}, &decided)) {
+      roots.push_back(netlist->output(name));
+    }
+    std::vector<char> cone = netlist->cone_of_influence(roots);
+    const auto in_cone = [](const std::vector<char>& c) {
+      return std::count_if(c.begin(), c.end(), [](char v) { return v != 0; });
+    };
+    if (in_cone(cone) >= in_cone(cones.back())) return false;
+    cones.push_back(std::move(cone));
+    encoder.set_chain_cone(&cones.back());
+    return true;
   }
 };
 
@@ -244,15 +337,21 @@ Lit holds_at(const Property& property, int f, Session& s) {
 }
 
 /// Straight model read-out: the solver's current model projected onto the
-/// primary inputs (out-of-cone inputs — unencoded, irrelevant — read false).
+/// primary inputs (out-of-cone inputs — unencoded, irrelevant — read
+/// false; inputs pinned by an injected fault read the forced value, which
+/// is what their constant literal would report).
 Counterexample model_counterexample(Session& s, int last_frame) {
   Counterexample cex;
   for (int f = 0; f <= last_frame; ++f) {
     std::map<std::string, bool> values;
-    for (const rtl::Net in : s.netlist->inputs()) {
-      const Lit l = s.encoder.frame(static_cast<std::size_t>(f)).lit(in);
-      values[s.netlist->net_name(in)] =
-          l.valid() && (s.solver.model_value(l.var()) != l.negated());
+    for (const rtl::Net in : s.original->inputs()) {
+      const std::string& name = s.original->net_name(in);
+      if (const auto forced = s.forced_input(in)) {
+        values[name] = *forced;
+        continue;
+      }
+      const Lit l = s.input_lit(static_cast<std::size_t>(f), in);
+      values[name] = l.valid() && (s.solver.model_value(l.var()) != l.negated());
     }
     cex.inputs.push_back(std::move(values));
   }
@@ -280,9 +379,15 @@ Counterexample canonical_counterexample(Session& s, int last_frame,
   Counterexample cex;
   for (int f = 0; f <= last_frame; ++f) {
     std::map<std::string, bool> values;
-    for (const rtl::Net in : s.netlist->inputs()) {
-      const std::string& name = s.netlist->net_name(in);
-      const Lit l = s.encoder.frame(static_cast<std::size_t>(f)).lit(in);
+    for (const rtl::Net in : s.original->inputs()) {
+      const std::string& name = s.original->net_name(in);
+      if (const auto forced = s.forced_input(in)) {
+        // Stuck-at on a primary input: the trace reports the forced value
+        // (a constant literal in the encoding — nothing to minimise).
+        values[name] = *forced;
+        continue;
+      }
+      const Lit l = s.input_lit(static_cast<std::size_t>(f), in);
       if (!l.valid()) {  // out of the cone: cannot matter, canonically false
         values[name] = false;
         continue;
@@ -404,6 +509,7 @@ MultiCheckResult ModelChecker::check_all_with_faults(
 
   // ---------------- portfolio BMC ---------------------------------------
   for (int b = 0; b <= options.max_bound && undecided > 0; ++b) {
+    const std::size_t undecided_entering_bound = undecided;
     // Violation literal per undecided property: v <-> (its violation
     // conjuncts at bound b). Both directions, so a model classifies every
     // violated property, not just the one the portfolio clause picked.
@@ -478,6 +584,13 @@ MultiCheckResult ModelChecker::check_all_with_faults(
       }
     }
     s.solver.add_unit(~sel);  // retire this bound's portfolio clause
+    // Retired properties need no further frames: shrink the cone the chain
+    // encodes from the next bound on to the union over the survivors
+    // (the "incremental COI across check_all bound batches" reduction).
+    if (options.live_cone && undecided > 0 && undecided < undecided_entering_bound &&
+        b < options.max_bound && s.shrink_cone(properties, decided)) {
+      ++multi.cone_recomputes;
+    }
   }
 
   // ---------------- shared-solver induction for the survivors -----------

@@ -140,6 +140,9 @@ struct MultiCheckResult {
   int solver_variables = 0;
   std::size_t solver_clauses = 0;
   std::size_t frames_encoded = 0;
+  /// Times the live-cone union actually shrank after retiring properties
+  /// (Options::live_cone): later frames were encoded under a smaller cone.
+  std::size_t cone_recomputes = 0;
 
   [[nodiscard]] std::size_t count(CheckStatus status) const noexcept {
     std::size_t n = 0;
@@ -169,6 +172,22 @@ public:
     /// platform. Costs at most one solve per input bit that wants to be
     /// true; disable for falsification-only sweeps that discard traces.
     bool canonical_counterexample = true;
+    /// Run the netlist through the opt:: pass pipeline (structural hashing,
+    /// rewriting, SAT sweeping, dead-gate elimination) before encoding.
+    /// Injected faults are baked into the optimized netlist as constants,
+    /// and with `cone_of_influence` set only the observed outputs are
+    /// preserved, so the reductions compound. Exact, like the cone
+    /// reduction: verdicts, bound_used and canonical counterexamples are
+    /// bit-identical with preprocessing on or off — only the encoding
+    /// shrinks. The SYMBAD_OPT* environment knobs tune or disable the
+    /// pipeline globally (see opt::OptimizerOptions::from_env).
+    bool optimize = true;
+    /// In `check_all`: when a property is retired at some bound, recompute
+    /// the cone-of-influence union over the *surviving* properties so later
+    /// frames stop encoding the retired property's cone. Exact for the
+    /// same reason the base reduction is. Only meaningful with
+    /// `cone_of_influence`.
+    bool live_cone = true;
   };
 
   explicit ModelChecker(const rtl::Netlist& netlist) : netlist_{&netlist} {}

@@ -1,0 +1,29 @@
+#pragma once
+// Sequential equivalence self-check for the optimizer.
+//
+// Builds a miter netlist — both circuits side by side, primary inputs
+// shared by name, every shared output pair XORed into one `equiv_diff`
+// flag — and model-checks the invariant "the outputs never differ" with
+// BMC + k-induction. The check runs with optimization *disabled*
+// (`Options::optimize = false` is forced): the engine under test must not
+// be trusted to verify itself.
+//
+// This header sits above mc/ on purpose; the optimizer core
+// (optimizer.hpp / sweep.hpp) depends only on rtl + sat, so mc can use it
+// for preprocessing without a header cycle.
+
+#include "mc/mc.hpp"
+#include "rtl/netlist.hpp"
+
+namespace symbad::opt {
+
+/// Checks that `a` and `b` agree on every output name they share (there
+/// must be at least one), for all input sequences from reset.
+/// `status == falsified` refutes equivalence and the counterexample is a
+/// distinguishing input trace; `proved` / `no_cex_within_bound` confirm it
+/// (outright, or up to `options.max_bound`).
+[[nodiscard]] mc::CheckResult prove_equivalent(const rtl::Netlist& a,
+                                               const rtl::Netlist& b,
+                                               mc::ModelChecker::Options options = {});
+
+}  // namespace symbad::opt

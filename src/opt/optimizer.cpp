@@ -1,0 +1,382 @@
+#include "opt/optimizer.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "opt/sweep.hpp"
+
+namespace symbad::opt {
+
+using rtl::Gate;
+using rtl::GateKind;
+using rtl::Net;
+using rtl::Netlist;
+
+namespace {
+
+// ------------------------------------------------------- env knob parsing
+
+long parse_env_long(const char* name, const char* value, long lo, long hi) {
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || parsed < lo || parsed > hi) {
+    throw std::invalid_argument{std::string{"opt: "} + name + " must be an integer in [" +
+                                std::to_string(lo) + ", " + std::to_string(hi) +
+                                "], got \"" + value + "\""};
+  }
+  return parsed;
+}
+
+bool parse_env_bool(const char* name, const char* value) {
+  return parse_env_long(name, value, 0, 1) != 0;
+}
+
+// ----------------------------------------------------------------- builder
+
+/// Grows the optimized netlist: every mk_* applies the local rewrite rules
+/// first, then canonicalizes operands and consults the structural hash, so
+/// a gate is materialised at most once per (kind, operands).
+class Builder {
+public:
+  explicit Builder(std::string name) : out_{std::move(name)} {}
+
+  Net constant(bool value) {
+    Net& slot = const_net_[value ? 1 : 0];
+    if (slot < 0) slot = out_.constant(value);
+    return slot;
+  }
+
+  Net input(std::string name) { return out_.add_input(std::move(name)); }
+
+  Net dff(bool init, std::string name) { return out_.add_dff(init, std::move(name)); }
+  void connect_next(Net dff_net, Net next) { out_.connect_next(dff_net, next); }
+  void set_output(const std::string& name, Net net) { out_.set_output(name, net); }
+
+  Net mk_not(Net a) {
+    if (is_const(a, false)) return constant(true);
+    if (is_const(a, true)) return constant(false);
+    // Double negation: ~~x = x.
+    if (kind_of(a) == GateKind::not_gate) return gate(a).a;
+    return hashed(GateKind::not_gate, a, -1, -1);
+  }
+
+  Net mk_and(Net a, Net b) {
+    if (a == b) return a;                       // x & x = x
+    if (complementary(a, b)) return constant(false);  // x & ~x = 0
+    if (is_const(a, false) || is_const(b, false)) return constant(false);
+    if (is_const(a, true)) return b;
+    if (is_const(b, true)) return a;
+    if (a > b) std::swap(a, b);  // commutative canonical order
+    return hashed(GateKind::and_gate, a, b, -1);
+  }
+
+  Net mk_or(Net a, Net b) {
+    if (a == b) return a;
+    if (complementary(a, b)) return constant(true);
+    if (is_const(a, true) || is_const(b, true)) return constant(true);
+    if (is_const(a, false)) return b;
+    if (is_const(b, false)) return a;
+    if (a > b) std::swap(a, b);
+    return hashed(GateKind::or_gate, a, b, -1);
+  }
+
+  Net mk_xor(Net a, Net b) {
+    if (a == b) return constant(false);
+    if (complementary(a, b)) return constant(true);
+    if (is_const(a, false)) return b;
+    if (is_const(b, false)) return a;
+    if (is_const(a, true)) return mk_not(b);
+    if (is_const(b, true)) return mk_not(a);
+    if (a > b) std::swap(a, b);
+    return hashed(GateKind::xor_gate, a, b, -1);
+  }
+
+  Net mk_mux(Net s, Net t, Net e) {
+    if (is_const(s, true)) return t;
+    if (is_const(s, false)) return e;
+    if (t == e) return t;                          // equal arms
+    if (s == t) return mk_or(s, e);                // s ? s : e  =  s | e
+    if (s == e) return mk_and(s, t);               // s ? t : s  =  s & t
+    // Select inversion: mux(~s, t, e) = mux(s, e, t).
+    if (kind_of(s) == GateKind::not_gate) return mk_mux(gate(s).a, e, t);
+    // Constant arms collapse to and/or forms.
+    if (is_const(t, true)) return mk_or(s, e);     // s ? 1 : e  =  s | e
+    if (is_const(t, false)) return mk_and(mk_not(s), e);
+    if (is_const(e, false)) return mk_and(s, t);
+    if (is_const(e, true)) return mk_or(mk_not(s), t);
+    // Complement arms are xor/xnor.
+    if (complementary(t, e)) {
+      // s ? ~e : e = s ^ e; s ? t : ~t = ~(s ^ t).
+      return kind_of(t) == GateKind::not_gate && gate(t).a == e
+                 ? mk_xor(s, e)
+                 : mk_not(mk_xor(s, t));
+    }
+    return hashed(GateKind::mux, s, t, e);
+  }
+
+  [[nodiscard]] Netlist take() { return std::move(out_); }
+  [[nodiscard]] const Netlist& netlist() const noexcept { return out_; }
+
+private:
+  [[nodiscard]] const Gate& gate(Net n) const { return out_.gate(n); }
+  [[nodiscard]] GateKind kind_of(Net n) const { return gate(n).kind; }
+  [[nodiscard]] bool is_const(Net n, bool value) const {
+    return kind_of(n) == (value ? GateKind::const1 : GateKind::const0);
+  }
+  [[nodiscard]] bool complementary(Net a, Net b) const {
+    return (kind_of(a) == GateKind::not_gate && gate(a).a == b) ||
+           (kind_of(b) == GateKind::not_gate && gate(b).a == a);
+  }
+
+  Net hashed(GateKind kind, Net a, Net b, Net c) {
+    const std::array<int, 4> key{static_cast<int>(kind), a, b, c};
+    const auto it = hash_.find(key);
+    if (it != hash_.end()) return it->second;
+    Net n = -1;
+    switch (kind) {
+      case GateKind::and_gate: n = out_.add_and(a, b); break;
+      case GateKind::or_gate: n = out_.add_or(a, b); break;
+      case GateKind::xor_gate: n = out_.add_xor(a, b); break;
+      case GateKind::not_gate: n = out_.add_not(a); break;
+      case GateKind::mux: n = out_.add_mux(a, b, c); break;
+      default: throw std::logic_error{"opt: unhashable gate kind"};
+    }
+    hash_.emplace(key, n);
+    return n;
+  }
+
+  Netlist out_;
+  std::array<Net, 2> const_net_{-1, -1};
+  std::map<std::array<int, 4>, Net> hash_;
+};
+
+// ------------------------------------------------------------ rewrite pass
+
+struct Rebuild {
+  Netlist netlist{"opt"};
+  NetMap map;
+};
+
+struct RebuildOptions {
+  /// Output names to keep (nullptr or empty = all).
+  const std::vector<std::string>* preserve_outputs = nullptr;
+  bool keep_all_nets = false;
+  const std::map<Net, bool>* faults = nullptr;
+  /// Proven merges to apply (net -> representative), from SatSweeper.
+  const std::vector<SatSweeper::Merge>* merges = nullptr;
+};
+
+/// One full rebuild of `in`: dead-gate elimination (unless keep_all_nets),
+/// fault baking, sweeping merges, and the Builder's hashing/rewriting.
+Rebuild rewrite_pass(const Netlist& in, const RebuildOptions& ro) {
+  // Which outputs survive.
+  std::vector<std::pair<std::string, Net>> kept_outputs;
+  for (const auto& [name, net] : in.outputs()) {
+    if (ro.preserve_outputs == nullptr || ro.preserve_outputs->empty()) {
+      kept_outputs.emplace_back(name, net);
+      continue;
+    }
+    for (const auto& keep : *ro.preserve_outputs) {
+      if (keep == name) {
+        kept_outputs.emplace_back(name, net);
+        break;
+      }
+    }
+  }
+
+  // Liveness relative to the kept outputs (closure under structural
+  // support, crossing registers — Netlist::cone_of_influence).
+  std::vector<char> live;
+  if (!ro.keep_all_nets) {
+    std::vector<Net> roots;
+    roots.reserve(kept_outputs.size());
+    for (const auto& [name, net] : kept_outputs) roots.push_back(net);
+    live = in.cone_of_influence(roots);
+  }
+  const auto is_live = [&](std::size_t i) {
+    return ro.keep_all_nets || live[i] != 0;
+  };
+
+  std::vector<Net> merge_onto(in.gate_count(), -1);
+  std::vector<char> merge_comp(in.gate_count(), 0);
+  if (ro.merges != nullptr) {
+    for (const auto& m : *ro.merges) {
+      merge_onto[static_cast<std::size_t>(m.net)] = m.onto;
+      merge_comp[static_cast<std::size_t>(m.net)] = m.complement ? 1 : 0;
+    }
+  }
+
+  Builder b{in.name()};
+  NetMap map;
+  map.old_to_new.assign(in.gate_count(), -1);
+  std::vector<std::pair<Net, Net>> pending_dffs;  // (new dff, old next net)
+
+  for (std::size_t i = 0; i < in.gate_count(); ++i) {
+    const Net old = static_cast<Net>(i);
+    const Gate& g = in.gate(old);
+    // Primary inputs are always declared (same names, same order) so the
+    // formal clients can extract input traces without translation; their
+    // *readers* may still be redirected below (fault baking).
+    if (g.kind == GateKind::input) {
+      const Net fresh = b.input(in.net_name(old));
+      if (ro.faults != nullptr) {
+        if (const auto it = ro.faults->find(old); it != ro.faults->end()) {
+          map.old_to_new[i] = b.constant(it->second);
+          continue;
+        }
+      }
+      map.old_to_new[i] = fresh;
+      continue;
+    }
+    if (!is_live(i)) continue;  // dead: no image
+    if (ro.faults != nullptr) {
+      if (const auto it = ro.faults->find(old); it != ro.faults->end()) {
+        map.old_to_new[i] = b.constant(it->second);
+        continue;
+      }
+    }
+    if (const Net onto = merge_onto[i]; onto >= 0) {
+      const Net target = map.old_to_new[static_cast<std::size_t>(onto)];
+      if (target < 0) throw std::logic_error{"opt: merge onto a dead net"};
+      map.old_to_new[i] = merge_comp[i] != 0 ? b.mk_not(target) : target;
+      continue;
+    }
+    const auto op = [&](Net n) { return map.old_to_new[static_cast<std::size_t>(n)]; };
+    switch (g.kind) {
+      case GateKind::const0: map.old_to_new[i] = b.constant(false); break;
+      case GateKind::const1: map.old_to_new[i] = b.constant(true); break;
+      case GateKind::and_gate: map.old_to_new[i] = b.mk_and(op(g.a), op(g.b)); break;
+      case GateKind::or_gate: map.old_to_new[i] = b.mk_or(op(g.a), op(g.b)); break;
+      case GateKind::xor_gate: map.old_to_new[i] = b.mk_xor(op(g.a), op(g.b)); break;
+      case GateKind::not_gate: map.old_to_new[i] = b.mk_not(op(g.a)); break;
+      case GateKind::mux:
+        map.old_to_new[i] = b.mk_mux(op(g.a), op(g.b), op(g.c));
+        break;
+      case GateKind::dff: {
+        const Net fresh = b.dff(g.init, in.net_name(old));
+        map.old_to_new[i] = fresh;
+        pending_dffs.emplace_back(fresh, g.a);  // next-state may be a later net
+        break;
+      }
+      case GateKind::input: break;  // handled above
+    }
+  }
+
+  for (const auto& [fresh, old_next] : pending_dffs) {
+    const Net next = map.old_to_new[static_cast<std::size_t>(old_next)];
+    if (next < 0) throw std::logic_error{"opt: dff next-state lost its image"};
+    b.connect_next(fresh, next);
+  }
+  for (const auto& [name, net] : kept_outputs) {
+    b.set_output(name, map.old_to_new[static_cast<std::size_t>(net)]);
+  }
+
+  Rebuild result;
+  result.netlist = b.take();
+  result.map = std::move(map);
+  return result;
+}
+
+/// first: A->B, second: B->C; returns A->C.
+NetMap compose(const NetMap& first, const NetMap& second) {
+  NetMap out;
+  out.old_to_new.reserve(first.old_to_new.size());
+  for (const Net mid : first.old_to_new) {
+    out.old_to_new.push_back(mid < 0 ? -1 : second.translate(mid));
+  }
+  return out;
+}
+
+}  // namespace
+
+OptimizerOptions OptimizerOptions::from_env() {
+  OptimizerOptions o;
+  if (const char* v = std::getenv("SYMBAD_OPT")) {
+    o.enabled = parse_env_bool("SYMBAD_OPT", v);
+  }
+  if (const char* v = std::getenv("SYMBAD_OPT_SWEEP")) {
+    o.sweep = parse_env_bool("SYMBAD_OPT_SWEEP", v);
+  }
+  if (const char* v = std::getenv("SYMBAD_OPT_SWEEP_ROUNDS")) {
+    o.sweep_rounds = static_cast<int>(parse_env_long("SYMBAD_OPT_SWEEP_ROUNDS", v, 1, 64));
+  }
+  if (const char* v = std::getenv("SYMBAD_OPT_SWEEP_MAX_PROOFS")) {
+    o.sweep_max_proofs = static_cast<std::size_t>(
+        parse_env_long("SYMBAD_OPT_SWEEP_MAX_PROOFS", v, 0, 1'000'000'000));
+  }
+  return o;
+}
+
+OptimizeResult Optimizer::run(const Netlist& input) const {
+  input.validate();
+  OptimizeResult result;
+
+  if (!options_.enabled) {
+    // The master switch means what it says even for direct callers: an
+    // identity result (netlist copy, identity map), no pipeline run.
+    result.netlist = input;
+    result.map.old_to_new.resize(input.gate_count());
+    for (std::size_t i = 0; i < input.gate_count(); ++i) {
+      result.map.old_to_new[i] = static_cast<Net>(i);
+    }
+    result.passes.push_back(PassStats{"disabled", input.gate_count(),
+                                      input.gate_count(), 0, 0, 0, 0,
+                                      input.gate_histogram()});
+    return result;
+  }
+
+  RebuildOptions ro;
+  ro.preserve_outputs = &options_.preserve_outputs;
+  ro.keep_all_nets = options_.keep_all_nets;
+  ro.faults = options_.faults;
+
+  // Pass 1: structural rewrite (hash + fold + dead elimination + faults).
+  auto r1 = rewrite_pass(input, ro);
+  result.passes.push_back(PassStats{"rewrite", input.gate_count(),
+                                    r1.netlist.gate_count(), 0, 0, 0, 0,
+                                    r1.netlist.gate_histogram()});
+
+  if (options_.sweep) {
+    SatSweeper sweeper{r1.netlist,
+                       {options_.sweep_rounds, options_.sweep_seed,
+                        options_.sweep_max_proofs}};
+    const auto merges = sweeper.find_merges();
+    const auto& st = sweeper.stats();
+    // Pass 2: apply the proven merges with another rebuild (the Builder
+    // then collapses the gates the merges made structurally redundant).
+    // All outputs of the intermediate netlist are already the preserved
+    // set, and faults are already baked. The merge rebuild keeps every
+    // net (a merge may redirect a live net onto a representative whose
+    // own cone went dead); the final rebuild then sweeps the dead logic.
+    PassStats sweep_stats{"sweep", r1.netlist.gate_count(), r1.netlist.gate_count(),
+                          st.candidates, st.proved, st.refuted, st.conflicts,
+                          r1.netlist.gate_histogram()};
+    if (!merges.empty()) {
+      RebuildOptions ro2;
+      ro2.keep_all_nets = true;
+      ro2.merges = &merges;
+      auto r2 = rewrite_pass(r1.netlist, ro2);
+      r1.map = compose(r1.map, r2.map);
+      r1.netlist = std::move(r2.netlist);
+      if (!options_.keep_all_nets) {
+        RebuildOptions ro3;
+        auto r3 = rewrite_pass(r1.netlist, ro3);
+        r1.map = compose(r1.map, r3.map);
+        r1.netlist = std::move(r3.netlist);
+      }
+      sweep_stats.gates_after = r1.netlist.gate_count();
+      sweep_stats.histogram_after = r1.netlist.gate_histogram();
+    }
+    result.passes.push_back(std::move(sweep_stats));
+  }
+
+  result.netlist = std::move(r1.netlist);
+  result.map = std::move(r1.map);
+  return result;
+}
+
+}  // namespace symbad::opt

@@ -100,6 +100,7 @@ PccReport check_property_coverage(const rtl::Netlist& netlist,
   // PCC only asks *whether* a property falsifies on the faulty netlist;
   // the traces are discarded, so skip counterexample canonicalisation.
   mc_opts.canonical_counterexample = false;
+  mc_opts.optimize = options.optimize;
 
   for (const auto& [net, stuck_to] : faults) {
     FaultOutcome outcome;

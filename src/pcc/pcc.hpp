@@ -50,6 +50,11 @@ struct PccOptions {
   /// Evaluate at most this many faults (0 = all), sampled uniformly.
   std::size_t max_faults = 0;
   std::uint64_t seed = 0x9CC5EEDULL;
+  /// Preprocess each faulty netlist through the opt:: pass pipeline before
+  /// BMC grading (forwarded to mc::ModelChecker::Options::optimize; the
+  /// fault is baked in as a constant, so folding starts from the fault
+  /// site). Detection verdicts are identical either way.
+  bool optimize = true;
 };
 
 /// Grades `properties` against stuck-at faults on every internal net of

@@ -157,9 +157,9 @@ std::vector<Net> Netlist::register_support(const std::vector<Net>& roots) const 
   return support;
 }
 
-std::map<GateKind, std::size_t> Netlist::gate_histogram() const {
-  std::map<GateKind, std::size_t> hist;
-  for (const auto& g : gates_) ++hist[g.kind];
+GateHistogram Netlist::gate_histogram() const {
+  GateHistogram hist{};
+  for (const auto& g : gates_) ++hist[gate_index(g.kind)];
   return hist;
 }
 

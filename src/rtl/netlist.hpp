@@ -10,6 +10,7 @@
 // creation order; sequential loops close only through flip-flops
 // (`connect_next`).
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <stdexcept>
@@ -32,6 +33,24 @@ enum class GateKind : std::uint8_t {
   mux,  ///< a ? b : c
   dff,  ///< state element; `a` is the next-state net once connected
 };
+
+/// Number of GateKind enumerators, for flat per-kind tables.
+inline constexpr std::size_t kGateKindCount = 9;
+
+/// Index of a GateKind in a flat per-kind table.
+[[nodiscard]] constexpr std::size_t gate_index(GateKind k) noexcept {
+  return static_cast<std::size_t>(k);
+}
+
+// A new enumerator must bump kGateKindCount with it, or every flat table
+// (gate_histogram and friends) indexes out of bounds.
+static_assert(gate_index(GateKind::dff) + 1 == kGateKindCount,
+              "kGateKindCount is out of sync with the GateKind enum");
+
+/// Gate count per kind, indexed by `gate_index` — a flat array instead of
+/// a std::map so per-pass statistics (the optimizer queries it after every
+/// pass) cost no allocation.
+using GateHistogram = std::array<std::size_t, kGateKindCount>;
 
 [[nodiscard]] constexpr const char* to_string(GateKind k) noexcept {
   switch (k) {
@@ -103,8 +122,8 @@ public:
   [[nodiscard]] std::vector<Net> register_support(const std::vector<Net>& roots) const;
 
   /// Count of gates per kind — the "silicon usage" proxy used by the
-  /// architecture-exploration grading.
-  [[nodiscard]] std::map<GateKind, std::size_t> gate_histogram() const;
+  /// architecture-exploration grading; index with `gate_index(kind)`.
+  [[nodiscard]] GateHistogram gate_histogram() const;
   /// Unit-area estimate (gate-count weighted by kind).
   [[nodiscard]] double area_estimate() const;
 

@@ -56,8 +56,11 @@ TEST(Netlist, AreaEstimateCountsGates) {
   n.connect_next(d, a);
   EXPECT_DOUBLE_EQ(n.area_estimate(), 1.0 + 4.0);
   const auto hist = n.gate_histogram();
-  EXPECT_EQ(hist.at(rtl::GateKind::and_gate), 1u);
-  EXPECT_EQ(hist.at(rtl::GateKind::dff), 1u);
+  EXPECT_EQ(hist[rtl::gate_index(rtl::GateKind::and_gate)], 1u);
+  EXPECT_EQ(hist[rtl::gate_index(rtl::GateKind::dff)], 1u);
+  std::size_t total = 0;
+  for (const auto count : hist) total += count;
+  EXPECT_EQ(total, n.gate_count());
 }
 
 // ------------------------------------------------------------- simulator
