@@ -2,15 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cerrno>
 #include <chrono>
-#include <cstdlib>
 #include <exception>
 #include <map>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+
+#include "core/env.hpp"
 
 namespace symbad::exec {
 
@@ -80,19 +80,12 @@ CampaignRunner::CampaignRunner(RuntimeFactory factory, Options options)
 int CampaignRunner::resolve_workers(int requested) {
   int workers = requested;
   if (workers <= 0) {
-    if (const char* env = std::getenv("SYMBAD_CAMPAIGN_WORKERS")) {
-      // Strict parse: `atoi` used to map garbage ("abc") and nonsense
-      // ("-3") to a silent hardware-concurrency fallback — a misconfigured
-      // campaign must fail loudly, not run with a surprise worker count.
-      char* end = nullptr;
-      errno = 0;
-      const long parsed = std::strtol(env, &end, 10);
-      if (end == env || *end != '\0' || errno == ERANGE || parsed < 1 || parsed > 64) {
-        throw std::invalid_argument{
-            "campaign: SYMBAD_CAMPAIGN_WORKERS must be an integer in [1, 64], got \"" +
-            std::string{env} + "\""};
-      }
-      workers = static_cast<int>(parsed);
+    // Strict parse (core::parse_env_int): `atoi` used to map garbage
+    // ("abc") and nonsense ("-3") to a silent hardware-concurrency
+    // fallback — a misconfigured campaign must fail loudly, not run with
+    // a surprise worker count.
+    if (const auto parsed = core::parse_env_int("SYMBAD_CAMPAIGN_WORKERS", 1, 64)) {
+      workers = static_cast<int>(*parsed);
     }
   }
   if (workers <= 0) workers = static_cast<int>(std::thread::hardware_concurrency());

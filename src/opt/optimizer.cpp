@@ -1,11 +1,10 @@
 #include "opt/optimizer.hpp"
 
 #include <array>
-#include <cerrno>
-#include <cstdlib>
 #include <stdexcept>
 #include <utility>
 
+#include "core/env.hpp"
 #include "opt/sweep.hpp"
 
 namespace symbad::opt {
@@ -16,24 +15,6 @@ using rtl::Net;
 using rtl::Netlist;
 
 namespace {
-
-// ------------------------------------------------------- env knob parsing
-
-long parse_env_long(const char* name, const char* value, long lo, long hi) {
-  char* end = nullptr;
-  errno = 0;
-  const long parsed = std::strtol(value, &end, 10);
-  if (end == value || *end != '\0' || errno == ERANGE || parsed < lo || parsed > hi) {
-    throw std::invalid_argument{std::string{"opt: "} + name + " must be an integer in [" +
-                                std::to_string(lo) + ", " + std::to_string(hi) +
-                                "], got \"" + value + "\""};
-  }
-  return parsed;
-}
-
-bool parse_env_bool(const char* name, const char* value) {
-  return parse_env_long(name, value, 0, 1) != 0;
-}
 
 // ----------------------------------------------------------------- builder
 
@@ -294,19 +275,16 @@ NetMap compose(const NetMap& first, const NetMap& second) {
 }  // namespace
 
 OptimizerOptions OptimizerOptions::from_env() {
+  // Strict shared parsing (core::parse_env_int): a misconfigured knob
+  // throws instead of silently running with defaults.
   OptimizerOptions o;
-  if (const char* v = std::getenv("SYMBAD_OPT")) {
-    o.enabled = parse_env_bool("SYMBAD_OPT", v);
+  if (const auto v = core::parse_env_flag("SYMBAD_OPT")) o.enabled = *v;
+  if (const auto v = core::parse_env_flag("SYMBAD_OPT_SWEEP")) o.sweep = *v;
+  if (const auto v = core::parse_env_int("SYMBAD_OPT_SWEEP_ROUNDS", 1, 64)) {
+    o.sweep_rounds = static_cast<int>(*v);
   }
-  if (const char* v = std::getenv("SYMBAD_OPT_SWEEP")) {
-    o.sweep = parse_env_bool("SYMBAD_OPT_SWEEP", v);
-  }
-  if (const char* v = std::getenv("SYMBAD_OPT_SWEEP_ROUNDS")) {
-    o.sweep_rounds = static_cast<int>(parse_env_long("SYMBAD_OPT_SWEEP_ROUNDS", v, 1, 64));
-  }
-  if (const char* v = std::getenv("SYMBAD_OPT_SWEEP_MAX_PROOFS")) {
-    o.sweep_max_proofs = static_cast<std::size_t>(
-        parse_env_long("SYMBAD_OPT_SWEEP_MAX_PROOFS", v, 0, 1'000'000'000));
+  if (const auto v = core::parse_env_int("SYMBAD_OPT_SWEEP_MAX_PROOFS", 0, 1'000'000'000)) {
+    o.sweep_max_proofs = static_cast<std::size_t>(*v);
   }
   return o;
 }

@@ -60,6 +60,13 @@ struct Clause {
   [[nodiscard]] std::span<const Lit> span() const noexcept { return {lits(), size}; }
 
   void assign(const Lit* src, std::uint32_t n) {
+    // `lits()` prefers heap_lits whenever it is non-null, so re-assigning a
+    // clause object down to n <= kInline must drop any oversized buffer a
+    // previous assign left behind — otherwise `size` and the storage the
+    // literals actually landed in would disagree. Every current caller
+    // assigns exactly once per fresh clause, but the invariant is now
+    // explicit instead of accidental.
+    if (n <= kInline) heap_lits.reset();
     size = n;
     if (n > kInline) heap_lits = std::make_unique<Lit[]>(n);
     std::copy(src, src + n, lits());
@@ -381,6 +388,20 @@ struct Solver::Impl {
   /// Must run at decision level 0 so reasons above the root are gone.
   /// Learned clauses live in their own vector, so the pass never touches
   /// the (much larger) problem-clause database.
+  ///
+  /// Lifetime audit of the deletion window (`erase_if` frees the Clause
+  /// objects; three structures hold raw Clause*): (1) watch lists —
+  /// `detach` removes both watcher entries eagerly before the free, and
+  /// propagate maintains lits[0]/lits[1] as the watched pair, so detach
+  /// always looks in the right lists; (2) `reason` slots — the pass runs
+  /// at level 0, `backtrack` nulled every above-root reason, and root
+  /// reasons are `locked` (a reason clause's asserting literal stays at
+  /// lits[0]: it can never equal the false literal that triggers the
+  /// watch swap); (3) binary clauses sit in `bin_watches` and are never
+  /// candidates (size < 3). The invariants hold only by convention,
+  /// though — nothing structural prevents a stale pointer — which is why
+  /// test_sat pins this window under ASan with reductions forced between
+  /// conflicting incremental solves.
   void reduce_db() {
     ++stats.db_reductions;
     last_reduce_conflicts = stats.conflicts;

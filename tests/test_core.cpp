@@ -5,9 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
 
 #include "app/face_system.hpp"
 #include "core/analytic.hpp"
+#include "core/env.hpp"
 #include "core/explorer.hpp"
 #include "core/partition.hpp"
 #include "core/system_model.hpp"
@@ -363,4 +368,80 @@ TEST(Explorer, FindsAcceleratedParetoPoints) {
   const auto* constrained = core::Explorer::best_under(points, 0.0, 1300.0, 0.0);
   ASSERT_NE(constrained, nullptr);
   EXPECT_LE(constrained->grade.area_units, 1300.0);
+}
+
+// ------------------------------------------------- strict env-knob parsing
+
+// The shared strict parser behind every SYMBAD_* integer knob
+// (SYMBAD_CAMPAIGN_WORKERS, SYMBAD_OPT*, SYMBAD_SAT_COMPACT). The
+// exhaustive accept/reject matrix lives here, next to the implementation;
+// the subsystems keep one integration test each that garbage still throws
+// through their entry points.
+
+namespace {
+
+/// Saves/restores one environment variable around a test body.
+struct EnvVarGuard {
+  const char* name;
+  std::string saved;
+  bool was_set = false;
+  explicit EnvVarGuard(const char* n) : name{n} {
+    if (const char* v = std::getenv(name)) {
+      saved = v;
+      was_set = true;
+    }
+  }
+  ~EnvVarGuard() {
+    if (was_set) {
+      ::setenv(name, saved.c_str(), 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+};
+
+}  // namespace
+
+TEST(EnvParse, ValueParserAcceptsExactIntegersInRange) {
+  EXPECT_EQ(core::parse_env_value("K", "1", 1, 64), 1);
+  EXPECT_EQ(core::parse_env_value("K", "64", 1, 64), 64);
+  EXPECT_EQ(core::parse_env_value("K", "-3", -10, 10), -3);
+  EXPECT_EQ(core::parse_env_value("K", "0", 0, 1), 0);
+}
+
+TEST(EnvParse, ValueParserRejectsGarbageAndOutOfRange) {
+  // The matrix the campaign runner used to pin (garbage must throw, never
+  // silently fall back), now owned by the shared helper.
+  for (const char* bad : {"abc", "-3", "0", "65", "3x", "", "4 ", " 4",
+                          "0x10", "99999999999999999999"}) {
+    EXPECT_THROW((void)core::parse_env_value("K", bad, 1, 64), std::invalid_argument)
+        << "value \"" << bad << '"';
+  }
+}
+
+TEST(EnvParse, EnvReaderDistinguishesUnsetFromInvalid) {
+  const EnvVarGuard guard{"SYMBAD_TEST_ENV_KNOB"};
+  ::unsetenv("SYMBAD_TEST_ENV_KNOB");
+  EXPECT_EQ(core::parse_env_int("SYMBAD_TEST_ENV_KNOB", 0, 9), std::nullopt);
+  EXPECT_EQ(core::parse_env_flag("SYMBAD_TEST_ENV_KNOB"), std::nullopt);
+
+  ::setenv("SYMBAD_TEST_ENV_KNOB", "7", 1);
+  EXPECT_EQ(core::parse_env_int("SYMBAD_TEST_ENV_KNOB", 0, 9), 7);
+  ::setenv("SYMBAD_TEST_ENV_KNOB", "banana", 1);
+  EXPECT_THROW((void)core::parse_env_int("SYMBAD_TEST_ENV_KNOB", 0, 9),
+               std::invalid_argument);
+}
+
+TEST(EnvParse, FlagAcceptsExactlyZeroAndOne) {
+  const EnvVarGuard guard{"SYMBAD_TEST_ENV_KNOB"};
+  ::setenv("SYMBAD_TEST_ENV_KNOB", "0", 1);
+  EXPECT_EQ(core::parse_env_flag("SYMBAD_TEST_ENV_KNOB"), false);
+  ::setenv("SYMBAD_TEST_ENV_KNOB", "1", 1);
+  EXPECT_EQ(core::parse_env_flag("SYMBAD_TEST_ENV_KNOB"), true);
+  for (const char* bad : {"2", "true", "yes", ""}) {
+    ::setenv("SYMBAD_TEST_ENV_KNOB", bad, 1);
+    EXPECT_THROW((void)core::parse_env_flag("SYMBAD_TEST_ENV_KNOB"),
+                 std::invalid_argument)
+        << "value \"" << bad << '"';
+  }
 }

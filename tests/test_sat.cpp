@@ -231,6 +231,55 @@ TEST(SatReduce, VerdictsIdenticalWithReductionOnAndOff) {
   }
 }
 
+TEST(SatReduce, DeletionWindowHasNoStaleReferences) {
+  // ASan regression for reduce_db's deletion window: learned clauses are
+  // freed while watch lists and reason slots hold references to clause
+  // storage, and any stale entry surviving the eager detach/remap would be
+  // dereferenced by the very next propagate. Reductions are forced as
+  // often as possible (base=1, increment=0-ish) *between* conflicting
+  // incremental solves, the access pattern where a stale reference has the
+  // longest life: solve -> reduce -> solve must re-walk the watch lists
+  // rebuilt by the previous round. Run under CI's ASan and UBSan builds
+  // (scripts/ci.sh steps 4/5), a silent use-after-free here becomes loud.
+  Solver s;
+  Solver::ReduceOptions opts;
+  opts.base = 1;
+  opts.increment = 1;
+  opts.keep_lbd = 0;  // as aggressive as the policy allows
+  s.set_reduce_options(opts);
+  const Var g1 = s.new_var();
+  const Var g2 = s.new_var();
+  add_pigeonhole(s, 5, Lit::positive(g1));
+  add_pigeonhole(s, 6, Lit::positive(g2));
+  for (int round = 0; round < 8; ++round) {
+    switch (round % 4) {
+      case 0:
+        EXPECT_EQ(s.solve({Lit::negative(g1)}), Result::unsat) << round;
+        break;
+      case 1:
+        ASSERT_EQ(s.solve({Lit::negative(g2), Lit::positive(g1)}), Result::unsat)
+            << round;
+        break;
+      case 2:
+        ASSERT_EQ(s.solve(), Result::sat) << round;
+        EXPECT_TRUE(s.model_value(g1));
+        EXPECT_TRUE(s.model_value(g2));
+        break;
+      default:
+        // Add fresh clauses between solves so attach interleaves with the
+        // torn-down DB, then query again.
+        const Var extra = s.new_var();
+        EXPECT_TRUE(s.add_ternary(Lit::positive(extra), Lit::positive(g1),
+                                  Lit::positive(g2)));
+        EXPECT_EQ(s.solve({Lit::negative(extra), Lit::negative(g1)}), Result::unsat)
+            << round;
+        break;
+    }
+  }
+  EXPECT_GE(s.statistics().db_reductions, 2u);
+  EXPECT_GT(s.statistics().learned_removed, 0u);
+}
+
 TEST(SatReduce, IncrementalSolvesStayCorrectUnderAggressiveReduction) {
   // A gated contradiction queried with rotating assumptions while the
   // reduction ceiling is as tight as it goes: every query must keep its
