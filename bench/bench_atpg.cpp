@@ -71,6 +71,9 @@ void BM_Atpg_SatEngineOnDistancePe(benchmark::State& state) {
   }
   int detected = 0;
   std::uint64_t conflicts = 0;
+  std::uint64_t arena = 0;
+  std::uint64_t arena_live = 0;
+  std::uint64_t compactions = 0;
   for (auto _ : state) {
     atpg::SatEngine engine{pe, {3}};
     const auto results = engine.generate_tests(faults);
@@ -80,11 +83,17 @@ void BM_Atpg_SatEngineOnDistancePe(benchmark::State& state) {
       if (r.test.has_value()) ++detected;
       conflicts += r.conflicts;
     }
+    arena = engine.solver().arena_bytes();
+    arena_live = engine.solver().arena_live_bytes();
+    compactions = engine.solver().statistics().arena_compactions;
     benchmark::DoNotOptimize(detected);
   }
   state.counters["faults"] = static_cast<double>(faults.size());
   state.counters["sat_detected"] = detected;
   state.counters["sat_conflicts"] = static_cast<double>(conflicts);
+  state.counters["arena_bytes"] = static_cast<double>(arena);
+  state.counters["arena_live"] = static_cast<double>(arena_live);
+  state.counters["sat_compactions"] = static_cast<double>(compactions);
   state.counters["conflicts_per_fault"] =
       static_cast<double>(conflicts) / static_cast<double>(faults.size());
 }

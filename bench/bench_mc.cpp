@@ -80,6 +80,8 @@ void BM_Mc_ConeOfInfluenceOnRootControl(benchmark::State& state) {
   state.counters["encoded_vars"] = static_cast<double>(result.solver_variables);
   state.counters["encoded_clauses"] = static_cast<double>(result.solver_clauses);
   state.counters["sat_conflicts_total"] = static_cast<double>(result.total_sat_conflicts);
+  state.counters["arena_bytes"] = static_cast<double>(result.solver_arena_bytes);
+  state.counters["arena_live"] = static_cast<double>(result.solver_arena_live);
 }
 BENCHMARK(BM_Mc_ConeOfInfluenceOnRootControl)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
@@ -103,6 +105,9 @@ void BM_Mc_CheckAllWrapperSuite(benchmark::State& state) {
   state.counters["encoded_vars"] = static_cast<double>(result.solver_variables);
   state.counters["encoded_clauses"] = static_cast<double>(result.solver_clauses);
   state.counters["sat_conflicts_total"] = static_cast<double>(result.total_sat_conflicts);
+  state.counters["arena_bytes"] = static_cast<double>(result.solver_arena_bytes);
+  state.counters["arena_live"] = static_cast<double>(result.solver_arena_live);
+  state.counters["sat_compactions"] = static_cast<double>(result.solver_compactions);
 }
 BENCHMARK(BM_Mc_CheckAllWrapperSuite)->Unit(benchmark::kMillisecond);
 

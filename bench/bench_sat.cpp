@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <vector>
 
+// Defines the counting operator new/delete — one including TU per binary.
+#include "../tests/support/alloc_counter.hpp"
 #include "app/rtl_blocks.hpp"
 #include "rtl/cnf.hpp"
 #include "sat/instances.hpp"
@@ -28,6 +30,9 @@ void BM_Sat_PigeonholeReduction(benchmark::State& state) {
   std::uint64_t conflicts = 0;
   std::uint64_t live = 0;
   std::uint64_t reductions = 0;
+  std::uint64_t arena = 0;
+  std::uint64_t arena_live = 0;
+  std::uint64_t compactions = 0;
   for (auto _ : state) {
     Solver s;
     Solver::ReduceOptions opts;
@@ -40,10 +45,18 @@ void BM_Sat_PigeonholeReduction(benchmark::State& state) {
     conflicts = s.statistics().conflicts;
     live = s.learned_clause_count();
     reductions = s.statistics().db_reductions;
+    arena = s.arena_bytes();
+    arena_live = s.arena_live_bytes();
+    compactions = s.statistics().arena_compactions;
   }
   state.counters["sat_conflicts"] = static_cast<double>(conflicts);
   state.counters["learned_live"] = static_cast<double>(live);
   state.counters["db_reductions"] = static_cast<double>(reductions);
+  // arena_bytes / arena_live are hard-gated (deterministic for a fixed
+  // workload and compact mode); sat_compactions is report-only.
+  state.counters["arena_bytes"] = static_cast<double>(arena);
+  state.counters["arena_live"] = static_cast<double>(arena_live);
+  state.counters["sat_compactions"] = static_cast<double>(compactions);
 }
 BENCHMARK(BM_Sat_PigeonholeReduction)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
@@ -65,6 +78,43 @@ void BM_Sat_IncrementalAssumptionSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_Sat_IncrementalAssumptionSweep)->Unit(benchmark::kMillisecond);
 
+void BM_Sat_SteadyStateIncrementalAllocations(benchmark::State& state) {
+  // The arena contract, measured: a warm solver answering incremental
+  // queries — with reduction and compaction forced on — must stay off the
+  // allocator entirely. The first 8 rounds grow every structure to its
+  // high-water capacity; the armed second sweep is the gated metric
+  // (`allocations` must stay 0: clause storage is bump allocation in the
+  // arena, compaction swaps retained buffers, analysis scratch is pooled).
+  std::uint64_t allocations = 0;
+  std::uint64_t arena = 0;
+  std::uint64_t compactions = 0;
+  for (auto _ : state) {
+    Solver s;
+    Solver::ReduceOptions opts;
+    opts.base = 30;
+    opts.increment = 0;
+    opts.keep_lbd = 0;
+    opts.compact = sat::CompactMode::always;
+    s.set_reduce_options(opts);
+    const Var g = s.new_var();
+    add_pigeonhole(s, 5, Lit::positive(g));
+    for (int round = 0; round < 8; ++round) {
+      benchmark::DoNotOptimize(round % 2 == 0 ? s.solve({Lit::negative(g)}) : s.solve());
+    }
+    test_support::arm_allocation_counter();
+    for (int round = 0; round < 8; ++round) {
+      benchmark::DoNotOptimize(round % 2 == 0 ? s.solve({Lit::negative(g)}) : s.solve());
+    }
+    allocations = test_support::disarm_allocation_counter();
+    arena = s.arena_bytes();
+    compactions = s.statistics().arena_compactions;
+  }
+  state.counters["allocations"] = static_cast<double>(allocations);
+  state.counters["arena_bytes"] = static_cast<double>(arena);
+  state.counters["sat_compactions"] = static_cast<double>(compactions);
+}
+BENCHMARK(BM_Sat_SteadyStateIncrementalAllocations)->Unit(benchmark::kMillisecond);
+
 void BM_Sat_TseitinEncodeRootRtl(benchmark::State& state) {
   // Pure encoding throughput: unroll the ROOT core's netlist N frames into
   // a fresh solver (no solving). This is the add_clause/new_var fast path
@@ -72,15 +122,18 @@ void BM_Sat_TseitinEncodeRootRtl(benchmark::State& state) {
   const auto n = app::build_root_rtl();
   const int frames = static_cast<int>(state.range(0));
   int vars = 0;
+  std::uint64_t arena = 0;
   for (auto _ : state) {
     sat::Solver solver;
     rtl::CnfEncoder encoder{n, solver};
     encoder.begin_chain({});
     benchmark::DoNotOptimize(encoder.frame(static_cast<std::size_t>(frames - 1)).lits.data());
     vars = solver.variable_count();
+    arena = solver.arena_bytes();
   }
   state.counters["frames"] = static_cast<double>(frames);
   state.counters["sat_vars"] = static_cast<double>(vars);
+  state.counters["arena_bytes"] = static_cast<double>(arena);
 }
 BENCHMARK(BM_Sat_TseitinEncodeRootRtl)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
 

@@ -18,9 +18,9 @@ Two kinds of gates:
   * real_time — host-dependent. Regressions beyond the threshold fail by
     default; pass --time-mode warn on shared/noisy hosts (the CI container
     is a 1-core box where timings swing with neighbours).
-  * counters matching --counter-pattern (default: allocation counts, SAT
-    conflict counts and encoded CNF sizes, which are deterministic and
-    host-independent) — regressions
+  * counters matching --counter-pattern (default: allocation counts,
+    clause-arena sizes, SAT conflict counts and encoded CNF sizes, which
+    are deterministic and host-independent) — regressions
     beyond the threshold always fail; a counter that appears from a zero
     baseline fails, and so does a gated counter that disappears from a
     still-running benchmark (otherwise the gate would silently stop
@@ -53,7 +53,7 @@ def main() -> int:
     parser.add_argument("--time-mode", choices=("fail", "warn"), default="fail",
                         help="whether real_time regressions fail or only warn")
     parser.add_argument("--counter-pattern",
-                        default=r"alloc|conflict|encoded_|gates_",
+                        default=r"alloc|arena_|conflict|encoded_|gates_",
                         help="regex of counter names that hard-fail on regression "
                              "(host-independent metrics only: allocation counts, "
                              "SAT conflicts — incl. the optimizer's sweep_conflicts "

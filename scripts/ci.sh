@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # CI gate for the Symbad repro: the tier-1 build+test loop, a parallel-safety
 # pass over the unit label, an AddressSanitizer configure/build/ctest pass
-# with the threaded campaign runner explicitly exercised at 4 workers, and a
+# with the threaded campaign runner explicitly exercised at 4 workers, a
 # perf-regression pass over the SAT/MC/opt/kernel benches against the
-# committed BENCH_BASELINE.json. Timings are warn-only (this runs on a
-# shared 1-core host where wall-clock swings with neighbours);
+# committed BENCH_BASELINE.json, and an UndefinedBehaviorSanitizer pass over
+# the SAT core (the clause arena lives on raw offset arithmetic — UBSan is
+# the cheapest way to catch a bad ref before it corrupts a verdict).
+# Timings are warn-only (this runs on a shared 1-core host where wall-clock
+# swings with neighbours);
 # allocation-count, conflict-count, encoded-CNF-size and optimizer
 # gate/sweep counters are host-independent and hard-fail beyond 20%.
 # Any failure exits nonzero.
@@ -16,29 +19,37 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "==> [1/5] tier-1: Release build + full ctest"
+echo "==> [1/6] tier-1: Release build + full ctest"
 cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "==> [2/5] parallel-safety: ctest -L unit -j (suites must tolerate"
+echo "==> [2/6] parallel-safety: ctest -L unit -j (suites must tolerate"
 echo "    concurrent siblings — shared fixtures, tmp dirs, env)"
 ctest --test-dir build --output-on-failure -L unit -j "$((JOBS * 2))"
 
-echo "==> [3/5] perf regression: SAT/MC/opt/kernel benches vs BENCH_BASELINE.json"
+echo "==> [3/6] perf regression: SAT/MC/opt/kernel benches vs BENCH_BASELINE.json"
 BENCH_ONLY="bench_sat bench_mc bench_mc_pcc bench_atpg bench_opt bench_level2_sim" \
   BENCH_OUT=build/bench_candidate.json \
   BENCH_JSON_DIR=build/bench_candidate \
   scripts/bench_baseline.sh build
 scripts/bench_compare.py --candidate build/bench_candidate.json --time-mode warn
 
-echo "==> [4/5] AddressSanitizer build + full ctest"
+echo "==> [4/6] AddressSanitizer build + full ctest"
 SYMBAD_SANITIZE=address cmake -B build-asan -S .
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "==> [5/5] threaded campaign runner under ASan (4 workers; step 4's"
-echo "    full ctest already covers every suite incl. test_opt sanitized —"
-echo "    this re-run exists for the non-default worker count)"
+echo "==> [5/6] threaded campaign runner + SAT arena under ASan (4 workers;"
+echo "    step 4's full ctest already covers every suite sanitized — these"
+echo "    re-runs exist for the non-default worker count and for the"
+echo "    compaction paths forced through every reduction)"
 SYMBAD_CAMPAIGN_WORKERS=4 ./build-asan/test_exec
+SYMBAD_SAT_COMPACT=2 ./build-asan/test_sat
+
+echo "==> [6/6] UndefinedBehaviorSanitizer: SAT core (arena offset/shift"
+echo "    arithmetic, header bit packing)"
+SYMBAD_SANITIZE=undefined cmake -B build-ubsan -S .
+cmake --build build-ubsan -j "$JOBS" --target test_sat
+SYMBAD_SAT_COMPACT=2 ./build-ubsan/test_sat
 echo "==> CI green"

@@ -225,6 +225,7 @@ struct Session {
         optimized{preprocess(n, properties, faults_in, options)},
         netlist{optimized ? &optimized->netlist : &n},
         encoder{*netlist, solver} {
+    solver.set_reduce_options(options.sat_reduce);
     act_reset = Lit::positive(solver.new_var());
     rtl::CnfEncoder::ChainOptions chain;
     chain.first_state = rtl::StateInit::reset;
@@ -416,11 +417,16 @@ Counterexample canonical_counterexample(Session& s, int last_frame,
   return cex;
 }
 
-void finalize_solver_stats(const Session& s, int& variables, std::size_t& clauses,
-                           std::size_t& frames) {
-  variables = s.solver.variable_count();
-  clauses = s.solver.problem_clause_count();
-  frames = s.encoder.frame_count();
+// Works for CheckResult and MultiCheckResult alike — both carry the same
+// solver-size and arena-footprint fields.
+template <typename ResultT>
+void finalize_solver_stats(const Session& s, ResultT& result) {
+  result.solver_variables = s.solver.variable_count();
+  result.solver_clauses = s.solver.problem_clause_count();
+  result.frames_encoded = s.encoder.frame_count();
+  result.solver_arena_bytes = s.solver.arena_bytes();
+  result.solver_arena_live = s.solver.arena_live_bytes();
+  result.solver_compactions = s.solver.statistics().arena_compactions;
 }
 
 }  // namespace
@@ -451,8 +457,7 @@ CheckResult ModelChecker::check_with_faults(const Property& property,
           options.canonical_counterexample
               ? canonical_counterexample(s, last, assumptions, result.cex_conflicts)
               : model_counterexample(s, last);
-      finalize_solver_stats(s, result.solver_variables, result.solver_clauses,
-                            result.frames_encoded);
+      finalize_solver_stats(s, result);
       return result;
     }
   }
@@ -464,8 +469,7 @@ CheckResult ModelChecker::check_with_faults(const Property& property,
   // ---------------- k-induction (safety forms only) ---------------------
   if (property.kind == PropertyKind::bounded_response) {
     result.status = CheckStatus::no_cex_within_bound;
-    finalize_solver_stats(s, result.solver_variables, result.solver_clauses,
-                          result.frames_encoded);
+    finalize_solver_stats(s, result);
     return result;
   }
   // Assume the property on frames 0..k-1 and refute it at frame k, with
@@ -483,8 +487,7 @@ CheckResult ModelChecker::check_with_faults(const Property& property,
   } else {
     result.status = CheckStatus::no_cex_within_bound;
   }
-  finalize_solver_stats(s, result.solver_variables, result.solver_clauses,
-                        result.frames_encoded);
+  finalize_solver_stats(s, result);
   return result;
 }
 
@@ -617,8 +620,7 @@ MultiCheckResult ModelChecker::check_all_with_faults(
     }
   }
 
-  finalize_solver_stats(s, multi.solver_variables, multi.solver_clauses,
-                        multi.frames_encoded);
+  finalize_solver_stats(s, multi);
   return multi;
 }
 

@@ -124,6 +124,11 @@ struct CheckResult {
   int solver_variables = 0;
   std::size_t solver_clauses = 0;
   std::size_t frames_encoded = 0;
+  /// Clause-arena footprint after the check (total / live bytes) and how
+  /// often reduction compacted it; see sat::Solver::arena_bytes.
+  std::size_t solver_arena_bytes = 0;
+  std::size_t solver_arena_live = 0;
+  std::uint64_t solver_compactions = 0;
 };
 
 /// Outcome of a multi-property portfolio check (ModelChecker::check_all):
@@ -140,6 +145,11 @@ struct MultiCheckResult {
   int solver_variables = 0;
   std::size_t solver_clauses = 0;
   std::size_t frames_encoded = 0;
+  /// Clause-arena footprint of the shared portfolio solver; see
+  /// sat::Solver::arena_bytes.
+  std::size_t solver_arena_bytes = 0;
+  std::size_t solver_arena_live = 0;
+  std::uint64_t solver_compactions = 0;
   /// Times the live-cone union actually shrank after retiring properties
   /// (Options::live_cone): later frames were encoded under a smaller cone.
   std::size_t cone_recomputes = 0;
@@ -188,6 +198,12 @@ public:
     /// same reason the base reduction is. Only meaningful with
     /// `cone_of_influence`.
     bool live_cone = true;
+    /// Learned-DB reduction policy (including the arena CompactMode) handed
+    /// to the session solver. Defaults match sat::Solver's; tests force
+    /// aggressive reduction and compaction through here to pin that
+    /// verdicts, bound_used and canonical counterexamples are invariant
+    /// under memory management.
+    sat::Solver::ReduceOptions sat_reduce{};
   };
 
   explicit ModelChecker(const rtl::Netlist& netlist) : netlist_{&netlist} {}

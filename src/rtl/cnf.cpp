@@ -41,6 +41,11 @@ Frame CnfEncoder::encode(const Options& options) {
   };
 
   Frame frame;
+  if (!frame_pool_.empty()) {
+    frame.lits = std::move(frame_pool_.back());
+    frame_pool_.pop_back();
+    frame.lits.clear();
+  }
   frame.lits.resize(netlist_->gate_count());
 
   std::size_t input_slot = 0;
@@ -148,6 +153,7 @@ Frame CnfEncoder::encode(const Options& options) {
 
 void CnfEncoder::begin_chain(const ChainOptions& options) {
   chain_opts_ = options;
+  for (Frame& f : chain_) frame_pool_.push_back(std::move(f.lits));
   chain_.clear();
   chain_started_ = true;
 }

@@ -124,6 +124,11 @@ private:
   std::optional<sat::Lit> true_lit_;
   ChainOptions chain_opts_{};
   std::vector<Frame> chain_;
+  /// Recycled frame storage: `begin_chain` returns the previous chain's
+  /// literal vectors here and `encode` draws from it, so restarting chains
+  /// (one per property / bound sweep) stops allocating once the vectors
+  /// have reached netlist size.
+  std::vector<std::vector<sat::Lit>> frame_pool_;
   bool chain_started_ = false;
 };
 

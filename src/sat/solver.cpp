@@ -1,7 +1,8 @@
 #include "sat/solver.hpp"
 
+#include "core/env.hpp"
+
 #include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
 namespace symbad::sat {
@@ -34,48 +35,51 @@ Solver::Statistics operator-(const Solver::Statistics& a, const Solver::Statisti
   d.learned_clauses = a.learned_clauses - b.learned_clauses;
   d.db_reductions = a.db_reductions - b.db_reductions;
   d.learned_removed = a.learned_removed - b.learned_removed;
+  d.arena_compactions = a.arena_compactions - b.arena_compactions;
   return d;
 }
 
+// ----------------------------------------------------------------- arena
+// Clauses live in one contiguous std::uint32_t arena. A clause is a packed
+// header word followed by its literals, stored inline as raw Lit::index()
+// words:
+//
+//   [ header ][ lit 0 ][ lit 1 ] ... [ lit size-1 ]
+//
+//   header bits  0..19  size (20 bits, so a clause holds up to ~1M literals)
+//   header bits 20..28  lbd, clamped to 511 (glue above that is
+//                       indistinguishable anyway: reduction only ever
+//                       compares glue values, and real glue tops out at the
+//                       decision-level count)
+//   header bit  29      learned
+//   header bit  30      used_recently (touched by conflict analysis since
+//                       the last reduction)
+//   header bit  31      deleted (marked by reduce_db, erased right after)
+//
+// A ClauseRef is the word offset of the header — clause identity is a
+// 32-bit integer, not a pointer, so watch lists, reasons, and the clause
+// database survive arena reallocation and compaction without a fix-up pass
+// over live pointers (refs are remapped wholesale during compaction
+// instead). Tseitin clauses are <= 4 literals and dominate the database by
+// count; at 5 words apiece the arena packs ~12 of them per cache line and
+// clause construction is a bump allocation.
+using ClauseRef = std::uint32_t;
+constexpr ClauseRef kNullRef = 0xFFFFFFFFu;
+
+constexpr std::uint32_t kSizeBits = 20;
+constexpr std::uint32_t kSizeMask = (std::uint32_t{1} << kSizeBits) - 1;
+constexpr std::uint32_t kLbdShift = kSizeBits;
+constexpr std::uint32_t kLbdMax = (std::uint32_t{1} << 9) - 1;
+constexpr std::uint32_t kLbdMask = kLbdMax << kLbdShift;
+constexpr std::uint32_t kLearnedFlag = std::uint32_t{1} << 29;
+constexpr std::uint32_t kUsedFlag = std::uint32_t{1} << 30;
+constexpr std::uint32_t kDeletedFlag = std::uint32_t{1} << 31;
+
 }  // namespace
-
-struct Clause {
-  /// Tseitin clauses are <= 4 literals and dominate the database by count;
-  /// storing them inline makes clause construction a single allocation and
-  /// keeps propagation off a second cache line.
-  static constexpr std::uint32_t kInline = 8;
-
-  std::uint32_t size = 0;
-  std::uint32_t lbd = 0;       ///< glue: distinct decision levels at learning time
-  bool learned = false;
-  bool used_recently = false;  ///< touched by conflict analysis since last reduction
-  bool deleted = false;        ///< marked by reduce_db, erased right after
-  Lit inline_lits[kInline];
-  std::unique_ptr<Lit[]> heap_lits;  ///< used when size > kInline
-
-  [[nodiscard]] Lit* lits() noexcept { return heap_lits ? heap_lits.get() : inline_lits; }
-  [[nodiscard]] const Lit* lits() const noexcept {
-    return heap_lits ? heap_lits.get() : inline_lits;
-  }
-  [[nodiscard]] std::span<const Lit> span() const noexcept { return {lits(), size}; }
-
-  void assign(const Lit* src, std::uint32_t n) {
-    // `lits()` prefers heap_lits whenever it is non-null, so re-assigning a
-    // clause object down to n <= kInline must drop any oversized buffer a
-    // previous assign left behind — otherwise `size` and the storage the
-    // literals actually landed in would disagree. Every current caller
-    // assigns exactly once per fresh clause, but the invariant is now
-    // explicit instead of accidental.
-    if (n <= kInline) heap_lits.reset();
-    size = n;
-    if (n > kInline) heap_lits = std::make_unique<Lit[]>(n);
-    std::copy(src, src + n, lits());
-  }
-};
 
 struct Solver::Impl {
   struct Watcher {
-    Clause* clause = nullptr;
+    ClauseRef ref = kNullRef;
     Lit blocker;
   };
   /// Binary clauses get their own watch structure: the other literal is
@@ -83,17 +87,20 @@ struct Solver::Impl {
   /// and the lists are never reshuffled.
   struct BinWatcher {
     Lit other;
-    Clause* clause = nullptr;
+    ClauseRef ref = kNullRef;
   };
 
-  std::vector<std::unique_ptr<Clause>> clauses;  // problem clauses (add_clause)
-  std::vector<std::unique_ptr<Clause>> learned;  // conflict-learned, reducible
+  std::vector<std::uint32_t> arena;        // clause storage (see layout above)
+  std::vector<std::uint32_t> spare_arena;  // retained compaction target buffer
+  std::size_t dead_words = 0;              // words owned by deleted clauses
+  std::vector<ClauseRef> clauses;  // problem clauses (add_clause), DB order
+  std::vector<ClauseRef> learned;  // conflict-learned, reducible, DB order
   std::vector<std::vector<Watcher>> watches;        // index: literal that became false
   std::vector<std::vector<BinWatcher>> bin_watches; // same indexing, size-2 clauses
   std::vector<Value> assigns;
   std::vector<bool> phase;       // saved phase per var
   std::vector<int> level;
-  std::vector<Clause*> reason;
+  std::vector<ClauseRef> reason;
   std::vector<double> activity;
   std::vector<char> seen;
   std::vector<std::uint32_t> level_stamp;  // per-level scratch for LBD counting
@@ -107,15 +114,66 @@ struct Solver::Impl {
   Statistics stats;
   Statistics last_solve_delta;
   ReduceOptions reduce_opts;
+  CompactMode env_compact = CompactMode::automatic;  // SYMBAD_SAT_COMPACT
   std::size_t learned_live = 0;  ///< learned clauses currently in the DB
   std::size_t learned_long = 0;  ///< learned clauses of size >= 3 (reducible)
   std::uint64_t last_reduce_conflicts = ~std::uint64_t{0};
   std::uint64_t conflict_budget = 0;
   std::vector<bool> model;
 
+  // Retained scratch: steady-state incremental solving must not allocate,
+  // so per-conflict and per-reduction work buffers keep their capacity
+  // across calls instead of living on the stack of search/analyze.
+  std::vector<Lit> learnt_scratch;
+  std::vector<Var> analyze_clear;
+  std::vector<ClauseRef> reduce_candidates;
+
   // Indexed max-heap on activity.
   std::vector<Var> heap;
   std::vector<int> heap_pos;  // var -> heap index or -1
+
+  // ------------------------------------------------------- clause access
+  [[nodiscard]] std::uint32_t clause_size(ClauseRef r) const noexcept {
+    return arena[r] & kSizeMask;
+  }
+  [[nodiscard]] std::uint32_t clause_lbd(ClauseRef r) const noexcept {
+    return (arena[r] & kLbdMask) >> kLbdShift;
+  }
+  void set_clause_lbd(ClauseRef r, std::uint32_t lbd) noexcept {
+    arena[r] = (arena[r] & ~kLbdMask) | (std::min(lbd, kLbdMax) << kLbdShift);
+  }
+  [[nodiscard]] Lit clause_lit(ClauseRef r, std::uint32_t i) const noexcept {
+    return Lit::from_index(static_cast<int>(arena[r + 1 + i]));
+  }
+
+  ClauseRef alloc_clause(const Lit* lits, std::uint32_t n, bool is_learned) {
+    if (n > kSizeMask) {
+      throw std::length_error{"sat: clause exceeds arena header size field"};
+    }
+    if (arena.size() + n + 1 >= kNullRef) {
+      throw std::length_error{"sat: clause arena exhausted"};
+    }
+    const auto ref = static_cast<ClauseRef>(arena.size());
+    arena.push_back(n | (is_learned ? kLearnedFlag : 0u));
+    for (std::uint32_t i = 0; i < n; ++i) {
+      arena.push_back(static_cast<std::uint32_t>(lits[i].index()));
+    }
+    return ref;
+  }
+
+  // ------------------------------------------------------ basic state
+  [[nodiscard]] Value lit_value(Lit l) const noexcept {
+    const Value v = assigns[static_cast<std::size_t>(l.var())];
+    if (v == Value::undef) return Value::undef;
+    const bool truth = (v == Value::true_value) != l.negated();
+    return truth ? Value::true_value : Value::false_value;
+  }
+  [[nodiscard]] Value word_value(std::uint32_t w) const noexcept {
+    return lit_value(Lit::from_index(static_cast<int>(w)));
+  }
+  [[nodiscard]] int decision_level() const noexcept {
+    return static_cast<int>(trail_lim.size());
+  }
 
   // ---------------------------------------------------------- heap ops
   [[nodiscard]] bool heap_less(Var a, Var b) const noexcept {
@@ -165,17 +223,6 @@ struct Solver::Impl {
     if (pos >= 0) heap_up(static_cast<std::size_t>(pos));
   }
 
-  // ------------------------------------------------------ basic state
-  [[nodiscard]] Value lit_value(Lit l) const noexcept {
-    const Value v = assigns[static_cast<std::size_t>(l.var())];
-    if (v == Value::undef) return Value::undef;
-    const bool truth = (v == Value::true_value) != l.negated();
-    return truth ? Value::true_value : Value::false_value;
-  }
-  [[nodiscard]] int decision_level() const noexcept {
-    return static_cast<int>(trail_lim.size());
-  }
-
   void bump(Var v) {
     auto& a = activity[static_cast<std::size_t>(v)];
     a += var_inc;
@@ -187,24 +234,25 @@ struct Solver::Impl {
   }
   void decay() noexcept { var_inc /= kVarDecay; }
 
-  void attach(Clause* c) {
-    Lit* l = c->lits();
-    if (c->size == 2) {
-      bin_watches[static_cast<std::size_t>(l[0].index())].push_back(BinWatcher{l[1], c});
-      bin_watches[static_cast<std::size_t>(l[1].index())].push_back(BinWatcher{l[0], c});
+  void attach(ClauseRef c) {
+    const Lit l0 = clause_lit(c, 0);
+    const Lit l1 = clause_lit(c, 1);
+    if (clause_size(c) == 2) {
+      bin_watches[static_cast<std::size_t>(l0.index())].push_back(BinWatcher{l1, c});
+      bin_watches[static_cast<std::size_t>(l1.index())].push_back(BinWatcher{l0, c});
       return;
     }
-    watches[static_cast<std::size_t>(l[0].index())].push_back(Watcher{c, l[1]});
-    watches[static_cast<std::size_t>(l[1].index())].push_back(Watcher{c, l[0]});
+    watches[static_cast<std::size_t>(l0.index())].push_back(Watcher{c, l1});
+    watches[static_cast<std::size_t>(l1.index())].push_back(Watcher{c, l0});
   }
 
   /// Removes the (size >= 3) clause from both watch lists it occupies.
   /// `propagate` keeps lits[0]/lits[1] as the watched pair at all times.
-  void detach(Clause* c) {
-    for (int w = 0; w < 2; ++w) {
-      auto& ws = watches[static_cast<std::size_t>(c->lits()[w].index())];
+  void detach(ClauseRef c) {
+    for (std::uint32_t w = 0; w < 2; ++w) {
+      auto& ws = watches[static_cast<std::size_t>(clause_lit(c, w).index())];
       for (auto& entry : ws) {
-        if (entry.clause == c) {
+        if (entry.ref == c) {
           entry = ws.back();
           ws.pop_back();
           break;
@@ -215,13 +263,13 @@ struct Solver::Impl {
 
   /// A clause that is the reason of its asserting (first) literal cannot be
   /// removed while that literal is assigned.
-  [[nodiscard]] bool locked(const Clause* c) const noexcept {
-    const Var v = c->lits()[0].var();
+  [[nodiscard]] bool locked(ClauseRef c) const noexcept {
+    const Var v = clause_lit(c, 0).var();
     return reason[static_cast<std::size_t>(v)] == c &&
            assigns[static_cast<std::size_t>(v)] != Value::undef;
   }
 
-  void enqueue(Lit p, Clause* from) {
+  void enqueue(Lit p, ClauseRef from) {
     assigns[static_cast<std::size_t>(p.var())] =
         p.negated() ? Value::false_value : Value::true_value;
     level[static_cast<std::size_t>(p.var())] = decision_level();
@@ -230,8 +278,8 @@ struct Solver::Impl {
   }
 
   // -------------------------------------------------------- propagate
-  Clause* propagate() {
-    Clause* conflict = nullptr;
+  ClauseRef propagate() {
+    ClauseRef conflict = kNullRef;
     while (qhead < trail.size()) {
       const Lit p = trail[qhead++];
       ++stats.propagations;
@@ -241,14 +289,15 @@ struct Solver::Impl {
         const Value v = lit_value(bw.other);
         if (v == Value::true_value) continue;
         if (v == Value::false_value) {
-          conflict = bw.clause;
+          conflict = bw.ref;
           qhead = trail.size();
           break;
         }
-        enqueue(bw.other, bw.clause);
+        enqueue(bw.other, bw.ref);
       }
-      if (conflict != nullptr) break;
+      if (conflict != kNullRef) break;
       auto& ws = watches[static_cast<std::size_t>(fl.index())];
+      const auto flw = static_cast<std::uint32_t>(fl.index());
       std::size_t i = 0;
       std::size_t j = 0;
       while (i < ws.size()) {
@@ -257,22 +306,24 @@ struct Solver::Impl {
           ws[j++] = ws[i++];
           continue;
         }
-        Clause& c = *w.clause;
-        Lit* cl = c.lits();
-        if (cl[0] == fl) std::swap(cl[0], cl[1]);
-        // invariant: cl[1] == fl
-        const Lit first = cl[0];
+        // No allocation happens inside this loop (watch pushes reuse
+        // capacity or grow amortised), so the raw word pointer into the
+        // arena stays valid for the whole clause inspection.
+        const std::uint32_t csize = clause_size(w.ref);
+        std::uint32_t* cw = arena.data() + w.ref + 1;
+        if (cw[0] == flw) std::swap(cw[0], cw[1]);
+        // invariant: cw[1] == flw
+        const Lit first = Lit::from_index(static_cast<int>(cw[0]));
         if (lit_value(first) == Value::true_value) {
-          ws[j++] = Watcher{w.clause, first};
+          ws[j++] = Watcher{w.ref, first};
           ++i;
           continue;
         }
         bool moved = false;
-        for (std::size_t k = 2; k < c.size; ++k) {
-          if (lit_value(cl[k]) != Value::false_value) {
-            std::swap(cl[1], cl[k]);
-            watches[static_cast<std::size_t>(cl[1].index())].push_back(
-                Watcher{w.clause, first});
+        for (std::uint32_t k = 2; k < csize; ++k) {
+          if (word_value(cw[k]) != Value::false_value) {
+            std::swap(cw[1], cw[k]);
+            watches[static_cast<std::size_t>(cw[1])].push_back(Watcher{w.ref, first});
             moved = true;
             break;
           }
@@ -282,34 +333,37 @@ struct Solver::Impl {
           continue;
         }
         // Clause is unit or conflicting.
-        ws[j++] = Watcher{w.clause, first};
+        ws[j++] = Watcher{w.ref, first};
         ++i;
         if (lit_value(first) == Value::false_value) {
-          conflict = &c;
+          conflict = w.ref;
           qhead = trail.size();
           while (i < ws.size()) ws[j++] = ws[i++];
         } else {
-          enqueue(first, &c);
+          enqueue(first, w.ref);
         }
       }
       ws.resize(j);
-      if (conflict != nullptr) break;
+      if (conflict != kNullRef) break;
     }
     return conflict;
   }
 
   // ---------------------------------------------------------- analyze
-  void analyze(Clause* conflict, std::vector<Lit>& out_learnt, int& out_bt_level) {
+  void analyze(ClauseRef conflict, std::vector<Lit>& out_learnt, int& out_bt_level) {
     out_learnt.clear();
     out_learnt.push_back(Lit{});  // slot for the asserting literal
-    std::vector<Var> to_clear;
+    auto& to_clear = analyze_clear;
+    to_clear.clear();
     int path_count = 0;
     Lit p;  // invalid
     std::size_t index = trail.size();
 
     for (;;) {
-      conflict->used_recently = true;
-      for (const Lit q : conflict->span()) {
+      arena[conflict] |= kUsedFlag;
+      const std::uint32_t csize = clause_size(conflict);
+      for (std::uint32_t qi = 0; qi < csize; ++qi) {
+        const Lit q = clause_lit(conflict, qi);
         if (p.valid() && q == p) continue;
         const Var v = q.var();
         if (seen[static_cast<std::size_t>(v)] == 0 &&
@@ -373,7 +427,7 @@ struct Solver::Impl {
       const Var v = trail[c - 1].var();
       phase[static_cast<std::size_t>(v)] = !trail[c - 1].negated();
       assigns[static_cast<std::size_t>(v)] = Value::undef;
-      reason[static_cast<std::size_t>(v)] = nullptr;
+      reason[static_cast<std::size_t>(v)] = kNullRef;
       heap_insert(v);
     }
     trail.resize(bound);
@@ -386,55 +440,108 @@ struct Solver::Impl {
   /// glue above keep_lbd, not locked as a reason, not used by conflict
   /// analysis since the previous reduction (those get one pass of grace).
   /// Must run at decision level 0 so reasons above the root are gone.
-  /// Learned clauses live in their own vector, so the pass never touches
-  /// the (much larger) problem-clause database.
+  /// Learned clauses live in their own ref vector, so the pass never
+  /// touches the (much larger) problem-clause database.
   ///
-  /// Lifetime audit of the deletion window (`erase_if` frees the Clause
-  /// objects; three structures hold raw Clause*): (1) watch lists —
-  /// `detach` removes both watcher entries eagerly before the free, and
-  /// propagate maintains lits[0]/lits[1] as the watched pair, so detach
-  /// always looks in the right lists; (2) `reason` slots — the pass runs
-  /// at level 0, `backtrack` nulled every above-root reason, and root
-  /// reasons are `locked` (a reason clause's asserting literal stays at
-  /// lits[0]: it can never equal the false literal that triggers the
-  /// watch swap); (3) binary clauses sit in `bin_watches` and are never
-  /// candidates (size < 3). The invariants hold only by convention,
-  /// though — nothing structural prevents a stale pointer — which is why
-  /// test_sat pins this window under ASan with reductions forced between
-  /// conflicting incremental solves.
+  /// Deletion marks the clause header and drops the ref from `learned`;
+  /// the words stay in the arena as dead weight until compaction reclaims
+  /// them. The old lifetime hazard of this window — watch lists and reason
+  /// slots holding raw Clause pointers into freed heap blocks, kept
+  /// correct only by convention — is gone structurally: nothing is freed
+  /// here, a stale ref would read an arena word rather than freed memory,
+  /// and `detach` (eager, both lists) plus the level-0 precondition
+  /// (backtrack nulled every above-root reason; root reasons are `locked`,
+  /// their asserting literal can never equal the false literal that
+  /// triggers the watch swap, so it stays at lits[0]; binaries are never
+  /// candidates) keep the window exact. test_sat still pins the window
+  /// under ASan with reductions forced between conflicting incremental
+  /// solves, which now also guards the compaction remap.
   void reduce_db() {
     ++stats.db_reductions;
     last_reduce_conflicts = stats.conflicts;
-    std::vector<Clause*> candidates;
-    for (const auto& up : learned) {
-      Clause* c = up.get();
-      if (!c->learned || c->size < 3) continue;
-      if (c->lbd <= reduce_opts.keep_lbd) continue;
+    auto& candidates = reduce_candidates;
+    candidates.clear();
+    for (const ClauseRef c : learned) {
+      if (clause_size(c) < 3) continue;
+      if (clause_lbd(c) <= reduce_opts.keep_lbd) continue;
       if (locked(c)) continue;
-      if (c->used_recently) {
-        c->used_recently = false;
+      if ((arena[c] & kUsedFlag) != 0) {
+        arena[c] &= ~kUsedFlag;
         continue;
       }
       candidates.push_back(c);
     }
-    // Deterministic order: stable sort, ties kept in clause-DB order.
-    std::stable_sort(candidates.begin(), candidates.end(),
-                     [](const Clause* a, const Clause* b) {
-                       if (a->lbd != b->lbd) return a->lbd > b->lbd;
-                       return a->size > b->size;
-                     });
+    // Deterministic order without stable_sort's temporary buffer: refs are
+    // allocated monotonically and compaction preserves relative order, so
+    // the ref tiebreak IS clause-DB order — the exact order the previous
+    // stable sort kept for ties.
+    std::sort(candidates.begin(), candidates.end(), [this](ClauseRef a, ClauseRef b) {
+      const std::uint32_t la = clause_lbd(a);
+      const std::uint32_t lb = clause_lbd(b);
+      if (la != lb) return la > lb;
+      const std::uint32_t sa = clause_size(a);
+      const std::uint32_t sb = clause_size(b);
+      if (sa != sb) return sa > sb;
+      return a < b;
+    });
     const std::size_t to_remove = candidates.size() / 2;
     for (std::size_t i = 0; i < to_remove; ++i) {
-      Clause* c = candidates[i];
+      const ClauseRef c = candidates[i];
       detach(c);
-      c->deleted = true;
+      arena[c] |= kDeletedFlag;
+      dead_words += clause_size(c) + 1;
       --learned_live;
       --learned_long;
       ++stats.learned_removed;
     }
     if (to_remove > 0) {
-      std::erase_if(learned, [](const std::unique_ptr<Clause>& c) { return c->deleted; });
+      std::erase_if(learned,
+                    [this](ClauseRef c) { return (arena[c] & kDeletedFlag) != 0; });
     }
+    maybe_compact();
+  }
+
+  /// Compacts the arena when the resolved CompactMode says so. Relocation
+  /// copies live clauses into the retained spare buffer in DB order
+  /// (problem clauses, then learned), parks the forward address in the old
+  /// first-literal slot, remaps every watcher / binary watcher / reason
+  /// ref, and swaps the buffers — so steady-state compaction allocates
+  /// nothing and the refs stay in DB order, which the reduction tiebreak
+  /// above relies on. Pure memory management: search behaviour and every
+  /// non-arena statistic are bit-identical across modes.
+  void maybe_compact() {
+    CompactMode mode = reduce_opts.compact;
+    if (mode == CompactMode::env_default) mode = env_compact;
+    if (mode == CompactMode::never) return;
+    if (dead_words == 0) return;  // relocation would be the identity
+    if (mode == CompactMode::automatic &&
+        (dead_words < 1024 || dead_words * 4 < arena.size())) {
+      return;
+    }
+    spare_arena.clear();
+    spare_arena.reserve(arena.size() - dead_words);
+    const auto relocate = [this](ClauseRef& ref) {
+      const std::uint32_t n = arena[ref] & kSizeMask;
+      const auto fresh = static_cast<ClauseRef>(spare_arena.size());
+      for (std::uint32_t w = 0; w < n + 1; ++w) spare_arena.push_back(arena[ref + w]);
+      arena[ref + 1] = fresh;  // forward address for the remap below
+      ref = fresh;
+    };
+    for (ClauseRef& c : clauses) relocate(c);
+    for (ClauseRef& c : learned) relocate(c);
+    const auto forward = [this](ClauseRef old) { return arena[old + 1]; };
+    for (auto& ws : watches) {
+      for (auto& w : ws) w.ref = forward(w.ref);
+    }
+    for (auto& ws : bin_watches) {
+      for (auto& bw : ws) bw.ref = forward(bw.ref);
+    }
+    for (auto& r : reason) {
+      if (r != kNullRef) r = forward(r);
+    }
+    std::swap(arena, spare_arena);
+    dead_words = 0;
+    ++stats.arena_compactions;
   }
 
   [[nodiscard]] std::uint64_t reduce_limit() const noexcept {
@@ -447,11 +554,11 @@ struct Solver::Impl {
     std::uint64_t restart_seq = 0;
     std::uint64_t restart_limit = 100 * luby(restart_seq);
     std::uint64_t conflicts_since_restart = 0;
-    std::vector<Lit> learnt;
+    auto& learnt = learnt_scratch;
 
     for (;;) {
-      Clause* conflict = propagate();
-      if (conflict != nullptr) {
+      const ClauseRef conflict = propagate();
+      if (conflict != kNullRef) {
         ++stats.conflicts;
         ++conflicts_since_restart;
         if (decision_level() == 0) {
@@ -466,18 +573,18 @@ struct Solver::Impl {
         analyze(conflict, learnt, bt_level);
         backtrack(bt_level);
         if (learnt.size() == 1) {
-          enqueue(learnt[0], nullptr);
+          enqueue(learnt[0], kNullRef);
         } else {
-          auto clause = std::make_unique<Clause>();
-          clause->assign(learnt.data(), static_cast<std::uint32_t>(learnt.size()));
-          clause->learned = true;
-          clause->lbd = compute_lbd(learnt);
-          clause->used_recently = true;
-          attach(clause.get());
-          enqueue(learnt[0], clause.get());
+          const ClauseRef ref =
+              alloc_clause(learnt.data(), static_cast<std::uint32_t>(learnt.size()),
+                           /*is_learned=*/true);
+          set_clause_lbd(ref, compute_lbd(learnt));
+          arena[ref] |= kUsedFlag;
+          attach(ref);
+          enqueue(learnt[0], ref);
           ++learned_live;
-          if (clause->size >= 3) ++learned_long;
-          learned.push_back(std::move(clause));
+          if (learnt.size() >= 3) ++learned_long;
+          learned.push_back(ref);
           ++stats.learned_clauses;
         }
         decay();
@@ -536,13 +643,21 @@ struct Solver::Impl {
         }
         ++stats.decisions;
         trail_lim.push_back(static_cast<int>(trail.size()));
-        enqueue(next, nullptr);
+        enqueue(next, kNullRef);
       }
     }
   }
 };
 
-Solver::Solver() : impl_{std::make_unique<Impl>()} {}
+Solver::Solver() : impl_{std::make_unique<Impl>()} {
+  if (const auto mode = core::parse_env_int("SYMBAD_SAT_COMPACT", 0, 2)) {
+    switch (*mode) {
+      case 0: impl_->env_compact = CompactMode::never; break;
+      case 1: impl_->env_compact = CompactMode::automatic; break;
+      default: impl_->env_compact = CompactMode::always; break;
+    }
+  }
+}
 Solver::~Solver() = default;
 
 Var Solver::new_var() {
@@ -551,7 +666,7 @@ Var Solver::new_var() {
   s.assigns.push_back(Value::undef);
   s.phase.push_back(false);
   s.level.push_back(0);
-  s.reason.push_back(nullptr);
+  s.reason.push_back(kNullRef);
   s.activity.push_back(0.0);
   s.seen.push_back(0);
   s.watches.emplace_back();
@@ -574,8 +689,9 @@ bool Solver::add_clause(std::span<const Lit> literals) {
     throw std::logic_error{"sat: add_clause during search"};
   }
   // Tseitin encoding calls this with millions of <= 4-literal clauses, so
-  // sort + simplify run in a stack buffer (insertion sort, tiny N) and heap
-  // allocation happens only for the surviving clause.
+  // sort + simplify run in a stack buffer (insertion sort, tiny N) and the
+  // surviving clause is a bump allocation in the arena — zero per-clause
+  // heap traffic once the arena has reached its high-water capacity.
   constexpr std::size_t kSmall = 16;
   Lit small[kSmall];
   std::vector<Lit> large;
@@ -624,17 +740,17 @@ bool Solver::add_clause(std::span<const Lit> literals) {
     return false;
   }
   if (count == 1) {
-    s.enqueue(lits[0], nullptr);
-    if (s.propagate() != nullptr) {
+    s.enqueue(lits[0], kNullRef);
+    if (s.propagate() != kNullRef) {
       s.ok = false;
       return false;
     }
     return true;
   }
-  auto clause = std::make_unique<Clause>();
-  clause->assign(lits, static_cast<std::uint32_t>(count));
-  s.attach(clause.get());
-  s.clauses.push_back(std::move(clause));
+  const ClauseRef ref =
+      s.alloc_clause(lits, static_cast<std::uint32_t>(count), /*is_learned=*/false);
+  s.attach(ref);
+  s.clauses.push_back(ref);
   return true;
 }
 
@@ -651,7 +767,7 @@ Result Solver::solve(std::span<const Lit> assumptions) {
     }
   }
   s.backtrack(0);
-  if (s.propagate() != nullptr) {
+  if (s.propagate() != kNullRef) {
     s.ok = false;
     s.last_solve_delta = s.stats - before;
     return Result::unsat;
@@ -696,6 +812,14 @@ void Solver::set_reduce_options(const ReduceOptions& options) noexcept {
 
 const Solver::ReduceOptions& Solver::reduce_options() const noexcept {
   return impl_->reduce_opts;
+}
+
+std::size_t Solver::arena_bytes() const noexcept {
+  return impl_->arena.size() * sizeof(std::uint32_t);
+}
+
+std::size_t Solver::arena_live_bytes() const noexcept {
+  return (impl_->arena.size() - impl_->dead_words) * sizeof(std::uint32_t);
 }
 
 void Solver::set_conflict_budget(std::uint64_t conflicts) noexcept {

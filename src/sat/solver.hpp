@@ -11,6 +11,12 @@
 // assumptions (the clause database and learned clauses persist across
 // `solve` calls, which is what the lazy BMC unrolling and the multi-fault
 // ATPG engine build on).
+//
+// Clause storage is a single contiguous std::uint32_t arena: clauses are
+// identified by 32-bit offsets (ClauseRef) instead of pointers, each clause
+// is one packed header word followed by its literals inline, and learned-DB
+// reduction can compact the arena in place (see docs/ARCHITECTURE.md,
+// "Solver memory layout").
 
 #include <cstdint>
 #include <memory>
@@ -29,6 +35,15 @@ public:
 
   [[nodiscard]] static constexpr Lit positive(Var v) { return Lit{v, false}; }
   [[nodiscard]] static constexpr Lit negative(Var v) { return Lit{v, true}; }
+
+  /// Rebuilds a literal from its `index()` encoding. The clause arena stores
+  /// literals as raw std::uint32_t words; this is the sanctioned way to read
+  /// them back without type-punning the arena storage.
+  [[nodiscard]] static constexpr Lit from_index(int code) noexcept {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
 
   [[nodiscard]] constexpr Var var() const noexcept { return code_ >> 1; }
   [[nodiscard]] constexpr bool negated() const noexcept { return (code_ & 1) != 0; }
@@ -49,6 +64,13 @@ private:
 enum class Value : std::uint8_t { false_value, true_value, undef };
 enum class Result { sat, unsat, unknown };
 
+/// Arena compaction policy, applied as part of learned-DB reduction.
+/// `env_default` resolves to the SYMBAD_SAT_COMPACT environment knob
+/// (0 = never, 1 = automatic, 2 = always; automatic when unset).
+/// Compaction is pure memory management: verdicts, models, and every
+/// search statistic are bit-identical across all three modes.
+enum class CompactMode : std::uint8_t { env_default, never, automatic, always };
+
 /// CDCL solver. Add variables and clauses, then call `solve` (optionally
 /// under assumptions); on `sat`, read the model with `model_value`.
 class Solver {
@@ -61,6 +83,7 @@ public:
     std::uint64_t learned_clauses = 0;  ///< total ever learned (incl. removed)
     std::uint64_t db_reductions = 0;    ///< learned-DB reduction passes
     std::uint64_t learned_removed = 0;  ///< learned clauses deleted by reduction
+    std::uint64_t arena_compactions = 0;  ///< clause-arena compaction passes
   };
 
   /// Learned-clause database reduction policy. Binary learned clauses and
@@ -72,8 +95,16 @@ public:
     std::uint64_t base = 2000;
     std::uint64_t increment = 500;
     std::uint32_t keep_lbd = 2;
+    /// Arena compaction runs at the end of a reduction pass when this mode
+    /// (after env_default resolution) says so: `always` compacts on every
+    /// pass, `automatic` once dead words reach 1/4 of the arena (and at
+    /// least 1024 words), `never` lets dead words accumulate.
+    CompactMode compact = CompactMode::env_default;
   };
 
+  /// Reads SYMBAD_SAT_COMPACT (strict: anything but an integer in [0, 2]
+  /// throws std::invalid_argument) to seed the CompactMode::env_default
+  /// resolution; see ReduceOptions::compact.
   Solver();
   ~Solver();
   Solver(const Solver&) = delete;
@@ -126,6 +157,13 @@ public:
 
   void set_reduce_options(const ReduceOptions& options) noexcept;
   [[nodiscard]] const ReduceOptions& reduce_options() const noexcept;
+
+  /// Clause-arena footprint: total words currently occupied (including dead
+  /// words awaiting compaction) and the live subset, both in bytes. Both are
+  /// deterministic for a fixed workload and compaction mode, which makes
+  /// them hard-gateable benchmark counters.
+  [[nodiscard]] std::size_t arena_bytes() const noexcept;
+  [[nodiscard]] std::size_t arena_live_bytes() const noexcept;
 
   /// Upper bound on conflicts before giving up with Result::unknown
   /// (0 = unlimited).

@@ -3,16 +3,20 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "app/rtl_blocks.hpp"
 #include "mc/mc.hpp"
 #include "pcc/pcc.hpp"
 #include "rtl/wordops.hpp"
+#include "sat/solver.hpp"
 #include "support/test_util.hpp"
 
 namespace mc = symbad::mc;
 namespace pcc = symbad::pcc;
 namespace app = symbad::app;
 namespace rtl = symbad::rtl;
+namespace sat = symbad::sat;
 
 namespace {
 
@@ -287,6 +291,122 @@ TEST(McCoi, ReducesEncodingWhenPropertyObservesOutputSubset) {
   EXPECT_EQ(reduced.status, full.status);
   EXPECT_LT(reduced.solver_variables, full.solver_variables);
   EXPECT_LT(reduced.solver_clauses, full.solver_clauses);
+}
+
+// ----------------------------------------------------- arena compaction
+
+namespace {
+
+/// Reduction schedule that keeps the solver's learned DB under constant
+/// churn: a reduction after every conflict, keeping nothing by glue. This
+/// maximises arena garbage, so compaction (when enabled) actually runs.
+sat::Solver::ReduceOptions aggressive_reduce(sat::CompactMode compact) {
+  sat::Solver::ReduceOptions r;
+  r.base = 1;
+  r.increment = 1;
+  r.keep_lbd = 0;
+  r.compact = compact;
+  return r;
+}
+
+/// Checks one property with arena compaction forced on every reduction vs
+/// disabled and requires verdict, bound_used, canonical counterexample and
+/// the total conflict count to be bit-identical — compaction must be pure
+/// relocation, invisible to the search. Returns the forced run's compaction
+/// count so callers can assert the mode actually exercised the mover.
+std::uint64_t expect_compact_equivalent(const mc::ModelChecker& checker,
+                                        const mc::Property& prop,
+                                        mc::ModelChecker::Options options) {
+  options.sat_reduce = aggressive_reduce(sat::CompactMode::always);
+  const auto forced = checker.check(prop, options);
+  options.sat_reduce = aggressive_reduce(sat::CompactMode::never);
+  const auto never = checker.check(prop, options);
+  EXPECT_EQ(forced.status, never.status) << prop.name;
+  EXPECT_EQ(forced.bound_used, never.bound_used) << prop.name;
+  EXPECT_EQ(forced.total_sat_conflicts, never.total_sat_conflicts) << prop.name;
+  EXPECT_EQ(forced.counterexample.has_value(), never.counterexample.has_value())
+      << prop.name;
+  if (forced.counterexample.has_value() && never.counterexample.has_value()) {
+    EXPECT_EQ(forced.counterexample->inputs, never.counterexample->inputs)
+        << prop.name;
+  }
+  // With compaction off the arena only ever grows; forced compaction must
+  // never leave it larger, and the never-mode must not have compacted.
+  EXPECT_LE(forced.solver_arena_bytes, never.solver_arena_bytes) << prop.name;
+  EXPECT_EQ(never.solver_compactions, 0u) << prop.name;
+  return forced.solver_compactions;
+}
+
+}  // namespace
+
+TEST(McCompact, ForcedVsNeverIsBitIdenticalOnSeedProperties) {
+  // Acceptance gate of the clause-arena tentpole at the mc level: for every
+  // seed property of the counter and wrapper fixtures, forcing a compaction
+  // on every DB reduction changes nothing observable — verdict, bound,
+  // counterexample and conflict count all match a compaction-free run.
+  std::uint64_t compactions = 0;
+  {
+    const auto counter = saturating_counter();
+    const mc::ModelChecker checker{counter};
+    for (const auto& prop : counter_properties()) {
+      compactions += expect_compact_equivalent(checker, prop, {});
+    }
+  }
+  {
+    const auto fsm = app::build_wrapper_fsm();
+    const mc::ModelChecker checker{fsm};
+    for (const auto& prop : app::wrapper_properties_extended()) {
+      compactions += expect_compact_equivalent(checker, prop, {12, 4});
+    }
+  }
+  // The suite as a whole must actually have compacted — otherwise the test
+  // only compared two identical no-op configurations.
+  EXPECT_GT(compactions, 0u);
+}
+
+TEST(McCompact, ForcedVsNeverIsBitIdenticalOnRandomNetlists) {
+  // Fuzz round: random mixed-logic netlists (every gate kind, registers,
+  // deep output cones) checked for a falsifiable and a typically-provable
+  // property under both compaction modes. Seeded via SYMBAD_TEST_SEED.
+  auto rng = symbad::test::rng("mc_compact_fuzz");
+  for (int round = 0; round < 4; ++round) {
+    rtl::Netlist n{"fuzz" + std::to_string(round)};
+    std::vector<rtl::Net> pool;
+    for (int i = 0; i < 4; ++i) pool.push_back(n.add_input("i" + std::to_string(i)));
+    std::vector<rtl::Net> dffs;
+    for (int i = 0; i < 3; ++i) {
+      const rtl::Net d = n.add_dff((rng.next() & 1) != 0, "r" + std::to_string(i));
+      dffs.push_back(d);
+      pool.push_back(d);
+    }
+    const auto pick = [&] {
+      return pool[static_cast<std::size_t>(rng.below(pool.size()))];
+    };
+    for (int g = 0; g < 40; ++g) {
+      rtl::Net fresh = -1;
+      switch (rng.below(5)) {
+        case 0: fresh = n.add_and(pick(), pick()); break;
+        case 1: fresh = n.add_or(pick(), pick()); break;
+        case 2: fresh = n.add_xor(pick(), pick()); break;
+        case 3: fresh = n.add_not(pick()); break;
+        default: fresh = n.add_mux(pick(), pick(), pick()); break;
+      }
+      pool.push_back(fresh);
+    }
+    for (const rtl::Net d : dffs) n.connect_next(d, pick());
+    const std::size_t half = pool.size() / 2;
+    n.set_output("o0", pool[half + static_cast<std::size_t>(rng.below(pool.size() - half))]);
+    n.set_output("o1", pool[half + static_cast<std::size_t>(rng.below(pool.size() - half))]);
+    n.validate();
+
+    const mc::ModelChecker checker{n};
+    expect_compact_equivalent(
+        checker, mc::Property::invariant("o0_never", !mc::Expr::signal("o0")), {8, 2});
+    expect_compact_equivalent(
+        checker,
+        mc::Property::next("o0_sticky", mc::Expr::signal("o0"), mc::Expr::signal("o1")),
+        {8, 2});
+  }
 }
 
 // ----------------------------------------------------- encode cache

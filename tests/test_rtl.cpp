@@ -440,6 +440,42 @@ TEST(CnfChain, PushFrameBeforeBeginChainThrows) {
   EXPECT_THROW((void)encoder.push_frame(), std::logic_error);
 }
 
+TEST(CnfChain, RestartRecyclesFrameStorage) {
+  // begin_chain returns the previous chain's literal vectors to a pool and
+  // encode draws from that pool, so restarting a chain — the steady state
+  // of per-property model checking — reuses frame storage instead of
+  // reallocating it, and the recycled frames must still encode the same
+  // transition system.
+  const Netlist n = make_counter(4);
+  sat::Solver solver;
+  rtl::CnfEncoder encoder{n, solver};
+  encoder.begin_chain({});
+  (void)encoder.frame(3);
+  std::vector<const sat::Lit*> old_storage;
+  for (std::size_t k = 0; k < encoder.frame_count(); ++k) {
+    old_storage.push_back(encoder.frame(k).lits.data());
+  }
+
+  encoder.begin_chain({});
+  EXPECT_EQ(encoder.frame_count(), 0u);
+  // The pool is LIFO and the vectors already have netlist-sized capacity,
+  // so the restarted chain's frame 0 lands in the last recycled buffer.
+  EXPECT_EQ(encoder.frame(0).lits.data(), old_storage.back());
+
+  // And the recycled chain still models the counter: 5 frames from reset
+  // reach exactly 5.
+  const auto& f5 = encoder.frame(5);
+  const auto& dffs = n.flip_flops();
+  std::vector<sat::Lit> assumptions;
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    const sat::Lit l = f5.lit(dffs[i]);
+    assumptions.push_back(((5u >> i) & 1) != 0 ? l : ~l);
+  }
+  EXPECT_EQ(solver.solve(assumptions), sat::Result::sat);
+  assumptions[0] = ~assumptions[0];
+  EXPECT_EQ(solver.solve(assumptions), sat::Result::unsat);
+}
+
 // ------------------------------------------------------- cone traversals
 
 namespace {

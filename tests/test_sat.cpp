@@ -2,10 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sat/instances.hpp"
 #include "sat/solver.hpp"
+// Defines the counting operator new/delete — one including TU per binary.
+#include "support/alloc_counter.hpp"
 #include "support/test_util.hpp"
 
 namespace sat = symbad::sat;
@@ -455,3 +463,216 @@ TEST_P(SatRandomHard, ModelsAreAlwaysValid) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SatRandomHard, ::testing::Range(1u, 17u));
+
+// ------------------------------------------------------- clause arena
+
+namespace {
+
+/// Everything observable about a fixed incremental workload: verdicts,
+/// full models, per-solve conflict deltas, cumulative statistics, arena
+/// footprint. Two runs that differ only in CompactMode must produce
+/// identical records (up to the arena fields themselves).
+struct ArenaRunRecord {
+  std::vector<Result> verdicts;
+  std::vector<std::vector<bool>> models;
+  std::vector<std::uint64_t> per_solve_conflicts;
+  Solver::Statistics final_stats;
+  std::size_t arena_bytes = 0;
+  std::size_t arena_live = 0;
+};
+
+/// Incremental workload with constant DB churn: two gated pigeonholes
+/// queried under rotating assumptions with reduction forced every conflict,
+/// then randomized 3-SAT blocks (below the phase transition, so the formula
+/// stays satisfiable and the solver keeps learning) interleaved with more
+/// assumption queries.
+ArenaRunRecord run_arena_workload(sat::CompactMode mode) {
+  ArenaRunRecord rec;
+  Solver s;
+  Solver::ReduceOptions opts;
+  opts.base = 1;
+  opts.increment = 1;
+  opts.keep_lbd = 0;
+  opts.compact = mode;
+  s.set_reduce_options(opts);
+  const Var g1 = s.new_var();
+  const Var g2 = s.new_var();
+  add_pigeonhole(s, 5, Lit::positive(g1));
+  add_pigeonhole(s, 6, Lit::positive(g2));
+  const auto record = [&](Result r) {
+    rec.verdicts.push_back(r);
+    rec.per_solve_conflicts.push_back(s.last_solve_statistics().conflicts);
+    std::vector<bool> model;
+    if (r == Result::sat) {
+      for (Var v = 0; v < s.variable_count(); ++v) model.push_back(s.model_value(v));
+    }
+    rec.models.push_back(std::move(model));
+  };
+  for (int round = 0; round < 9; ++round) {
+    switch (round % 3) {
+      case 0: record(s.solve({Lit::negative(g1)})); break;
+      case 1: record(s.solve({Lit::negative(g2), Lit::positive(g1)})); break;
+      default: record(s.solve()); break;
+    }
+  }
+  auto rng = symbad::test::rng(4242u);
+  for (int block = 0; block < 4; ++block) {
+    std::vector<Var> fresh;
+    for (int i = 0; i < 20; ++i) fresh.push_back(s.new_var());
+    for (int c = 0; c < 60; ++c) {  // ratio 3: satisfiable but conflict-rich
+      std::array<Lit, 3> clause{};
+      for (auto& l : clause) {
+        l = Lit{fresh[rng.below(20)], (rng.next() & 1) != 0};
+      }
+      s.add_clause(clause);
+    }
+    record(s.solve());
+    record(s.solve({Lit::negative(g1)}));
+  }
+  rec.final_stats = s.statistics();
+  rec.arena_bytes = s.arena_bytes();
+  rec.arena_live = s.arena_live_bytes();
+  return rec;
+}
+
+/// Compares two workload records field by field, excluding only the arena
+/// compaction counter (which is the one thing allowed to differ).
+void expect_identical_runs(const ArenaRunRecord& a, const ArenaRunRecord& b) {
+  EXPECT_EQ(a.verdicts, b.verdicts);
+  EXPECT_EQ(a.models, b.models);
+  EXPECT_EQ(a.per_solve_conflicts, b.per_solve_conflicts);
+  EXPECT_EQ(a.final_stats.decisions, b.final_stats.decisions);
+  EXPECT_EQ(a.final_stats.propagations, b.final_stats.propagations);
+  EXPECT_EQ(a.final_stats.conflicts, b.final_stats.conflicts);
+  EXPECT_EQ(a.final_stats.restarts, b.final_stats.restarts);
+  EXPECT_EQ(a.final_stats.learned_clauses, b.final_stats.learned_clauses);
+  EXPECT_EQ(a.final_stats.db_reductions, b.final_stats.db_reductions);
+  EXPECT_EQ(a.final_stats.learned_removed, b.final_stats.learned_removed);
+  // Live bytes are a function of the live clause set alone, so they must
+  // agree even though total arena bytes may not.
+  EXPECT_EQ(a.arena_live, b.arena_live);
+}
+
+/// Save/restore guard for one environment variable.
+struct CompactEnvGuard {
+  CompactEnvGuard() {
+    if (const char* v = std::getenv(kName)) saved_ = v;
+  }
+  ~CompactEnvGuard() {
+    if (saved_) {
+      ::setenv(kName, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(kName);
+    }
+  }
+  static constexpr const char* kName = "SYMBAD_SAT_COMPACT";
+  std::optional<std::string> saved_;
+};
+
+}  // namespace
+
+TEST(SatArena, CompactionForcedVsNeverIsBitIdentical) {
+  // Compaction is pure memory management: forcing it on every reduction
+  // pass must leave verdicts, models, per-solve conflict deltas and every
+  // cumulative statistic bit-identical to never compacting at all. The
+  // automatic mode sits between the two and must match as well.
+  const auto never = run_arena_workload(sat::CompactMode::never);
+  const auto always = run_arena_workload(sat::CompactMode::always);
+  const auto automatic = run_arena_workload(sat::CompactMode::automatic);
+
+  ASSERT_GT(never.final_stats.learned_removed, 0u);  // the workload churns
+  EXPECT_EQ(never.final_stats.arena_compactions, 0u);
+  EXPECT_GT(always.final_stats.arena_compactions, 0u);
+
+  expect_identical_runs(never, always);
+  expect_identical_runs(never, automatic);
+
+  // Compacting can only shrink the arena, never grow it.
+  EXPECT_LE(always.arena_bytes, never.arena_bytes);
+  EXPECT_EQ(always.arena_bytes, always.arena_live);
+}
+
+TEST(SatArena, SteadyStateIncrementalSolvingDoesNotAllocate) {
+  // The arena contract, pinned exactly: once a warm incremental solver has
+  // grown every structure to its high-water capacity, further solve rounds
+  // — including learned-DB reductions and forced compactions — touch the
+  // allocator zero times. Clause storage is bump allocation in the arena,
+  // compaction swaps two retained buffers, conflict analysis / reduction
+  // use pooled scratch, and reduction sorts without stable_sort's
+  // temporary buffer.
+  Solver s;
+  Solver::ReduceOptions opts;
+  opts.base = 30;
+  opts.increment = 0;
+  opts.keep_lbd = 0;
+  opts.compact = sat::CompactMode::always;
+  s.set_reduce_options(opts);
+  const Var g = s.new_var();
+  add_pigeonhole(s, 5, Lit::positive(g));
+  for (int round = 0; round < 12; ++round) {  // warm-up: reach capacity
+    (void)(round % 2 == 0 ? s.solve({Lit::negative(g)}) : s.solve());
+  }
+  ASSERT_GT(s.statistics().db_reductions, 0u);
+  ASSERT_GT(s.statistics().arena_compactions, 0u);
+
+  std::array<Result, 8> results{};
+  symbad::test_support::arm_allocation_counter();
+  for (int round = 0; round < 8; ++round) {
+    results[static_cast<std::size_t>(round)] =
+        round % 2 == 0 ? s.solve({Lit::negative(g)}) : s.solve();
+  }
+  const auto allocations = symbad::test_support::disarm_allocation_counter();
+
+  EXPECT_EQ(allocations, 0u);
+  for (int round = 0; round < 8; ++round) {
+    EXPECT_EQ(results[static_cast<std::size_t>(round)],
+              round % 2 == 0 ? Result::unsat : Result::sat)
+        << "round " << round;
+  }
+}
+
+TEST(SatArena, AddClauseStaysOffTheAllocatorOnceWarm) {
+  // Per-clause heap allocation is gone: adding thousands of clauses to a
+  // warm solver costs only the amortised growth of the arena, the watch
+  // lists and the clause-ref vector — a handful of vector doublings, not
+  // one allocation per clause.
+  Solver s;
+  constexpr int kVars = 16;
+  std::array<Var, kVars> vars{};
+  for (auto& v : vars) v = s.new_var();
+  const auto add_batch = [&](int offset, int count) {
+    for (int i = offset; i < offset + count; ++i) {
+      const Lit a{vars[static_cast<std::size_t>(i % kVars)], (i & 1) != 0};
+      const Lit b{vars[static_cast<std::size_t>((i * 5 + 1) % kVars)], (i & 2) != 0};
+      const Lit c{vars[static_cast<std::size_t>((i * 7 + 3) % kVars)], (i & 4) != 0};
+      (void)s.add_ternary(a, b, c);
+    }
+  };
+  constexpr int kBatch = 2000;
+  add_batch(0, kBatch);  // warm-up: arena and watch lists grow
+  const std::size_t warm_clauses = s.problem_clause_count();
+
+  symbad::test_support::arm_allocation_counter();
+  add_batch(kBatch, kBatch);
+  const auto allocations = symbad::test_support::disarm_allocation_counter();
+
+  EXPECT_GT(s.problem_clause_count(), warm_clauses + kBatch / 2);
+  EXPECT_LT(allocations, 64u) << "for " << kBatch << " clauses";
+}
+
+TEST(SatArena, CompactEnvKnobIsStrictAndSelectsTheMode) {
+  const CompactEnvGuard guard;
+  for (const char* bad : {"abc", "3", "-1", " 1", "1x", ""}) {
+    ::setenv(CompactEnvGuard::kName, bad, 1);
+    EXPECT_THROW((void)Solver{}, std::invalid_argument) << '"' << bad << '"';
+  }
+  // 2 = always, 0 = never, resolved through ReduceOptions::env_default —
+  // and the choice must not leak into solver behaviour.
+  ::setenv(CompactEnvGuard::kName, "2", 1);
+  const auto forced = run_arena_workload(sat::CompactMode::env_default);
+  ::setenv(CompactEnvGuard::kName, "0", 1);
+  const auto never = run_arena_workload(sat::CompactMode::env_default);
+  EXPECT_GT(forced.final_stats.arena_compactions, 0u);
+  EXPECT_EQ(never.final_stats.arena_compactions, 0u);
+  expect_identical_runs(never, forced);
+}
