@@ -57,9 +57,12 @@ def main() -> int:
                         help="regex of counter names that hard-fail on regression "
                              "(host-independent metrics only: allocation counts, "
                              "SAT conflicts — incl. the optimizer's sweep_conflicts "
-                             "— encoded CNF vars/clauses, and optimizer gate "
-                             "counts; sweep_proofs is deliberately ungated because "
-                             "this gate is one-sided and more proofs is better)")
+                             "— encoded CNF vars/clauses and optimizer gate counts, "
+                             "incl. the fault-grading campaigns' per-fault "
+                             "gates_*/encoded_* sums; sweep_proofs and the "
+                             "reopt_incremental/reopt_full split are deliberately "
+                             "ungated because those gates are one-sided — more "
+                             "proofs and more splice-served faults are better)")
     args = parser.parse_args()
 
     baseline = load(args.baseline)

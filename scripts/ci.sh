@@ -42,10 +42,13 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo "==> [5/6] threaded campaign runner + SAT arena under ASan (4 workers;"
 echo "    step 4's full ctest already covers every suite sanitized — these"
-echo "    re-runs exist for the non-default worker count and for the"
-echo "    compaction paths forced through every reduction)"
+echo "    re-runs exist for the non-default worker count, for the"
+echo "    compaction paths forced through every reduction, and for the"
+echo "    incremental-optimizer splice with the fallback knob exercised)"
 SYMBAD_CAMPAIGN_WORKERS=4 ./build-asan/test_exec
 SYMBAD_SAT_COMPACT=2 ./build-asan/test_sat
+./build-asan/test_opt_incremental
+SYMBAD_OPT_INCREMENTAL=0 ./build-asan/test_opt_incremental
 
 echo "==> [6/6] UndefinedBehaviorSanitizer: SAT core (arena offset/shift"
 echo "    arithmetic, header bit packing)"

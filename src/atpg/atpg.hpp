@@ -33,6 +33,10 @@
 #include "verif/fault.hpp"
 #include "verif/rng.hpp"
 
+namespace symbad::opt {
+class PreprocessSession;
+}  // namespace symbad::opt
+
 namespace symbad::atpg {
 
 /// One stimulus frame: the acquisition parameters of a captured face.
@@ -107,12 +111,22 @@ private:
 /// Unrolls `unroll` frames of a good and a faulty copy sharing inputs and
 /// asks for any output difference. Returns per-frame input assignments, or
 /// nullopt when the fault is undetectable within the unrolling.
+///
+/// `optimize` defaults to OFF — deliberately the opposite of every other
+/// formal entry point. This wrapper builds a throwaway engine for exactly
+/// one solve, and the optimizer pipeline (the SAT sweep in particular)
+/// costs more than the single solve it would shrink; preprocessing only
+/// pays when its one-time cost amortizes over a fault list. Multi-fault
+/// callers should construct SatEngine directly (optimize on, or an
+/// opt::PreprocessSession shared with the rest of the campaign) instead of
+/// flipping this flag per fault.
 struct SatTest {
   std::vector<std::map<std::string, bool>> frames;  ///< input name -> value
 };
 [[nodiscard]] std::optional<SatTest> sat_generate_test(const rtl::Netlist& netlist,
                                                        rtl::Net fault_net, bool stuck_to,
-                                                       int unroll = 4);
+                                                       int unroll = 4,
+                                                       bool optimize = false);
 
 /// Incremental multi-fault SAT test generator.
 ///
@@ -138,6 +152,15 @@ public:
     /// with preprocessing on or off. Tuned/disabled globally by the
     /// SYMBAD_OPT* environment knobs.
     bool optimize = true;
+    /// Campaign-cached preprocessing: when set, the good-circuit
+    /// optimization comes from this session's cached baseline instead of a
+    /// fresh pipeline run per engine, so a campaign holding many engines
+    /// (or one engine next to PCC grading) optimizes the netlist once.
+    /// The session must be built over the same netlist with
+    /// keep_all_nets (total map) — validated at construction; `optimize`
+    /// is ignored in favour of the session's enabled() state. Non-owning;
+    /// must outlive the engine.
+    const opt::PreprocessSession* session = nullptr;
   };
 
   struct FaultResult {

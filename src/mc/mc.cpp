@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "opt/optimizer.hpp"
+#include "opt/session.hpp"
 
 namespace symbad::mc {
 
@@ -163,8 +164,9 @@ namespace {
 
 /// Output names a property set observes (with duplicates removed). The
 /// optional `decided` mask drops retired properties (live-cone
-/// recomputation passes it to keep only the survivors).
-std::vector<std::string> observed_outputs(std::span<const Property> properties,
+/// recomputation passes it to keep only the survivors). The maskless form
+/// is public as mc::observed_outputs.
+std::vector<std::string> collect_observed(std::span<const Property> properties,
                                           const std::vector<char>* decided = nullptr) {
   std::vector<std::string> names;
   for (std::size_t i = 0; i < properties.size(); ++i) {
@@ -203,16 +205,34 @@ struct Session {
       const rtl::Netlist& n, std::span<const Property> properties,
       const std::map<rtl::Net, bool>& faults, const ModelChecker::Options& options) {
     if (!options.optimize) return std::nullopt;
+    if (const opt::PreprocessSession* session = options.preprocess_session) {
+      // Campaign-cached path: the baseline pipeline (sweep included — it
+      // amortizes across the campaign now) already ran at session
+      // construction; this check pays only for the fault's cone splice.
+      if (!session->enabled()) return std::nullopt;
+      if (&session->original() != &n) {
+        throw std::invalid_argument{
+            "mc: preprocess session was built over a different netlist"};
+      }
+      for (const auto& name : collect_observed(properties)) {
+        if (!session->baseline().netlist.outputs().contains(name)) {
+          throw std::invalid_argument{
+              "mc: preprocess session does not preserve output '" + name + "'"};
+        }
+      }
+      return session->reoptimize(faults);
+    }
     opt::OptimizerOptions oo = opt::OptimizerOptions::from_env();
     if (!oo.enabled) return std::nullopt;
-    if (options.cone_of_influence) oo.preserve_outputs = observed_outputs(properties);
+    if (options.cone_of_influence) oo.preserve_outputs = collect_observed(properties);
     if (!faults.empty()) {
       oo.faults = &faults;
-      // Fault-grading sessions (PCC) are one netlist rebuild per fault:
+      // Session-free fault checks are one netlist rebuild per fault:
       // sweeping would re-prove the same fault-independent merges for
-      // every fault and cannot amortize. The structural pass still folds
-      // the cone downstream of the baked fault constant, which is where
-      // the per-fault reduction actually comes from.
+      // every fault and cannot amortize (hold an opt::PreprocessSession
+      // across the fault list to get the swept baseline back). The
+      // structural pass still folds the cone downstream of the baked
+      // fault constant, which is where the per-fault reduction comes from.
       oo.sweep = false;
     }
     return opt::optimize(n, oo);
@@ -241,7 +261,7 @@ struct Session {
 
   std::vector<rtl::Net> roots_of(std::span<const Property> properties) const {
     std::vector<rtl::Net> roots;
-    for (const auto& name : observed_outputs(properties)) {
+    for (const auto& name : collect_observed(properties)) {
       roots.push_back(netlist->output(name));
     }
     return roots;
@@ -274,7 +294,7 @@ struct Session {
     if (cones.empty()) return false;  // reduction off
     std::vector<rtl::Net> roots;
     for (const auto& name :
-         observed_outputs({properties.data(), properties.size()}, &decided)) {
+         collect_observed({properties.data(), properties.size()}, &decided)) {
       roots.push_back(netlist->output(name));
     }
     std::vector<char> cone = netlist->cone_of_influence(roots);
@@ -427,9 +447,18 @@ void finalize_solver_stats(const Session& s, ResultT& result) {
   result.solver_arena_bytes = s.solver.arena_bytes();
   result.solver_arena_live = s.solver.arena_live_bytes();
   result.solver_compactions = s.solver.statistics().arena_compactions;
+  if (s.optimized) {
+    result.opt_gates_before = s.optimized->gates_before();
+    result.opt_gates_after = s.optimized->gates_after();
+    result.opt_incremental = s.optimized->incremental();
+  }
 }
 
 }  // namespace
+
+std::vector<std::string> observed_outputs(std::span<const Property> properties) {
+  return collect_observed(properties);
+}
 
 CheckResult ModelChecker::check(const Property& property, Options options) const {
   return check_with_faults(property, {}, options);

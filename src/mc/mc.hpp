@@ -22,12 +22,17 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "rtl/cnf.hpp"
 #include "rtl/netlist.hpp"
+
+namespace symbad::opt {
+class PreprocessSession;
+}  // namespace symbad::opt
 
 namespace symbad::mc {
 
@@ -129,6 +134,14 @@ struct CheckResult {
   std::size_t solver_arena_bytes = 0;
   std::size_t solver_arena_live = 0;
   std::uint64_t solver_compactions = 0;
+  /// Preprocessing footprint of this check's session: gate counts of the
+  /// encoded netlist before/after the opt:: pipeline (both 0 when
+  /// preprocessing was off), and whether that netlist came from a cached
+  /// opt::PreprocessSession cone splice instead of a full per-fault
+  /// rebuild (Options::preprocess_session).
+  std::size_t opt_gates_before = 0;
+  std::size_t opt_gates_after = 0;
+  bool opt_incremental = false;
 };
 
 /// Outcome of a multi-property portfolio check (ModelChecker::check_all):
@@ -153,6 +166,10 @@ struct MultiCheckResult {
   /// Times the live-cone union actually shrank after retiring properties
   /// (Options::live_cone): later frames were encoded under a smaller cone.
   std::size_t cone_recomputes = 0;
+  /// Preprocessing footprint of the shared session (see CheckResult).
+  std::size_t opt_gates_before = 0;
+  std::size_t opt_gates_after = 0;
+  bool opt_incremental = false;
 
   [[nodiscard]] std::size_t count(CheckStatus status) const noexcept {
     std::size_t n = 0;
@@ -204,6 +221,19 @@ public:
     /// verdicts, bound_used and canonical counterexamples are invariant
     /// under memory management.
     sat::Solver::ReduceOptions sat_reduce{};
+    /// Campaign-cached preprocessing: when set (and `optimize` is on and
+    /// the session is enabled), the per-check pipeline run is replaced by
+    /// the session's cached baseline — for a faulty check only the fault's
+    /// forward cone is re-optimized and spliced (opt::PreprocessSession).
+    /// Holders grading many faults (pcc::check_property_coverage, ATPG
+    /// campaigns) construct one session and pass it to every
+    /// check_all_with_faults call. The session must be built over the SAME
+    /// netlist handed to the ModelChecker and must preserve every output
+    /// the checked properties observe (mc::observed_outputs) — both are
+    /// validated, violations throw. Exact: verdicts, bound_used and
+    /// canonical counterexamples are bit-identical to the session-free
+    /// path. Non-owning; single-threaded use, must outlive the check.
+    const opt::PreprocessSession* preprocess_session = nullptr;
   };
 
   explicit ModelChecker(const rtl::Netlist& netlist) : netlist_{&netlist} {}
@@ -240,5 +270,11 @@ public:
 private:
   const rtl::Netlist* netlist_;
 };
+
+/// Output names a property set observes (sorted, deduplicated) — the
+/// preserve set a campaign-level opt::PreprocessSession must keep so it
+/// can serve sessions checking these properties.
+[[nodiscard]] std::vector<std::string> observed_outputs(
+    std::span<const Property> properties);
 
 }  // namespace symbad::mc

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/env.hpp"
+#include "opt/rebuild.hpp"
 #include "opt/sweep.hpp"
 
 namespace symbad::opt {
@@ -14,126 +15,9 @@ using rtl::GateKind;
 using rtl::Net;
 using rtl::Netlist;
 
+using detail::Builder;  // the shared hashing/rewriting core (rebuild.hpp)
+
 namespace {
-
-// ----------------------------------------------------------------- builder
-
-/// Grows the optimized netlist: every mk_* applies the local rewrite rules
-/// first, then canonicalizes operands and consults the structural hash, so
-/// a gate is materialised at most once per (kind, operands).
-class Builder {
-public:
-  explicit Builder(std::string name) : out_{std::move(name)} {}
-
-  Net constant(bool value) {
-    Net& slot = const_net_[value ? 1 : 0];
-    if (slot < 0) slot = out_.constant(value);
-    return slot;
-  }
-
-  Net input(std::string name) { return out_.add_input(std::move(name)); }
-
-  Net dff(bool init, std::string name) { return out_.add_dff(init, std::move(name)); }
-  void connect_next(Net dff_net, Net next) { out_.connect_next(dff_net, next); }
-  void set_output(const std::string& name, Net net) { out_.set_output(name, net); }
-
-  Net mk_not(Net a) {
-    if (is_const(a, false)) return constant(true);
-    if (is_const(a, true)) return constant(false);
-    // Double negation: ~~x = x.
-    if (kind_of(a) == GateKind::not_gate) return gate(a).a;
-    return hashed(GateKind::not_gate, a, -1, -1);
-  }
-
-  Net mk_and(Net a, Net b) {
-    if (a == b) return a;                       // x & x = x
-    if (complementary(a, b)) return constant(false);  // x & ~x = 0
-    if (is_const(a, false) || is_const(b, false)) return constant(false);
-    if (is_const(a, true)) return b;
-    if (is_const(b, true)) return a;
-    if (a > b) std::swap(a, b);  // commutative canonical order
-    return hashed(GateKind::and_gate, a, b, -1);
-  }
-
-  Net mk_or(Net a, Net b) {
-    if (a == b) return a;
-    if (complementary(a, b)) return constant(true);
-    if (is_const(a, true) || is_const(b, true)) return constant(true);
-    if (is_const(a, false)) return b;
-    if (is_const(b, false)) return a;
-    if (a > b) std::swap(a, b);
-    return hashed(GateKind::or_gate, a, b, -1);
-  }
-
-  Net mk_xor(Net a, Net b) {
-    if (a == b) return constant(false);
-    if (complementary(a, b)) return constant(true);
-    if (is_const(a, false)) return b;
-    if (is_const(b, false)) return a;
-    if (is_const(a, true)) return mk_not(b);
-    if (is_const(b, true)) return mk_not(a);
-    if (a > b) std::swap(a, b);
-    return hashed(GateKind::xor_gate, a, b, -1);
-  }
-
-  Net mk_mux(Net s, Net t, Net e) {
-    if (is_const(s, true)) return t;
-    if (is_const(s, false)) return e;
-    if (t == e) return t;                          // equal arms
-    if (s == t) return mk_or(s, e);                // s ? s : e  =  s | e
-    if (s == e) return mk_and(s, t);               // s ? t : s  =  s & t
-    // Select inversion: mux(~s, t, e) = mux(s, e, t).
-    if (kind_of(s) == GateKind::not_gate) return mk_mux(gate(s).a, e, t);
-    // Constant arms collapse to and/or forms.
-    if (is_const(t, true)) return mk_or(s, e);     // s ? 1 : e  =  s | e
-    if (is_const(t, false)) return mk_and(mk_not(s), e);
-    if (is_const(e, false)) return mk_and(s, t);
-    if (is_const(e, true)) return mk_or(mk_not(s), t);
-    // Complement arms are xor/xnor.
-    if (complementary(t, e)) {
-      // s ? ~e : e = s ^ e; s ? t : ~t = ~(s ^ t).
-      return kind_of(t) == GateKind::not_gate && gate(t).a == e
-                 ? mk_xor(s, e)
-                 : mk_not(mk_xor(s, t));
-    }
-    return hashed(GateKind::mux, s, t, e);
-  }
-
-  [[nodiscard]] Netlist take() { return std::move(out_); }
-  [[nodiscard]] const Netlist& netlist() const noexcept { return out_; }
-
-private:
-  [[nodiscard]] const Gate& gate(Net n) const { return out_.gate(n); }
-  [[nodiscard]] GateKind kind_of(Net n) const { return gate(n).kind; }
-  [[nodiscard]] bool is_const(Net n, bool value) const {
-    return kind_of(n) == (value ? GateKind::const1 : GateKind::const0);
-  }
-  [[nodiscard]] bool complementary(Net a, Net b) const {
-    return (kind_of(a) == GateKind::not_gate && gate(a).a == b) ||
-           (kind_of(b) == GateKind::not_gate && gate(b).a == a);
-  }
-
-  Net hashed(GateKind kind, Net a, Net b, Net c) {
-    const std::array<int, 4> key{static_cast<int>(kind), a, b, c};
-    const auto it = hash_.find(key);
-    if (it != hash_.end()) return it->second;
-    Net n = -1;
-    switch (kind) {
-      case GateKind::and_gate: n = out_.add_and(a, b); break;
-      case GateKind::or_gate: n = out_.add_or(a, b); break;
-      case GateKind::xor_gate: n = out_.add_xor(a, b); break;
-      case GateKind::not_gate: n = out_.add_not(a); break;
-      case GateKind::mux: n = out_.add_mux(a, b, c); break;
-      default: throw std::logic_error{"opt: unhashable gate kind"};
-    }
-    hash_.emplace(key, n);
-    return n;
-  }
-
-  Netlist out_;
-  std::array<Net, 2> const_net_{-1, -1};
-  std::map<std::array<int, 4>, Net> hash_;
-};
 
 // ------------------------------------------------------------ rewrite pass
 
@@ -262,7 +146,8 @@ Rebuild rewrite_pass(const Netlist& in, const RebuildOptions& ro) {
   return result;
 }
 
-/// first: A->B, second: B->C; returns A->C.
+}  // namespace
+
 NetMap compose(const NetMap& first, const NetMap& second) {
   NetMap out;
   out.old_to_new.reserve(first.old_to_new.size());
@@ -271,8 +156,6 @@ NetMap compose(const NetMap& first, const NetMap& second) {
   }
   return out;
 }
-
-}  // namespace
 
 OptimizerOptions OptimizerOptions::from_env() {
   // Strict shared parsing (core::parse_env_int): a misconfigured knob
@@ -286,6 +169,7 @@ OptimizerOptions OptimizerOptions::from_env() {
   if (const auto v = core::parse_env_int("SYMBAD_OPT_SWEEP_MAX_PROOFS", 0, 1'000'000'000)) {
     o.sweep_max_proofs = static_cast<std::size_t>(*v);
   }
+  if (const auto v = core::parse_env_flag("SYMBAD_OPT_INCREMENTAL")) o.incremental = *v;
   return o;
 }
 

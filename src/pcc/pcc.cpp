@@ -1,7 +1,10 @@
 #include "pcc/pcc.hpp"
 
 #include <deque>
+#include <optional>
+#include <utility>
 
+#include "opt/session.hpp"
 #include "verif/rng.hpp"
 
 namespace symbad::pcc {
@@ -101,6 +104,21 @@ PccReport check_property_coverage(const rtl::Netlist& netlist,
   // the traces are discarded, so skip counterexample canonicalisation.
   mc_opts.canonical_counterexample = false;
   mc_opts.optimize = options.optimize;
+  // One cached preprocess session for the whole campaign: the good netlist
+  // runs the full pipeline (sweep included) exactly once, preserving the
+  // outputs the property set observes; every BMC-graded fault then pays
+  // only for re-optimizing its own forward cone against that baseline.
+  std::optional<opt::PreprocessSession> session;
+  if (options.optimize) {
+    opt::OptimizerOptions oo = opt::OptimizerOptions::from_env();
+    if (oo.enabled) {
+      oo.preserve_outputs =
+          mc::observed_outputs({properties.data(), properties.size()});
+      session.emplace(netlist, std::move(oo));
+      mc_opts.preprocess_session = &*session;
+      report.baseline_sweep_proofs = session->baseline().sweep_proofs();
+    }
+  }
 
   for (const auto& [net, stuck_to] : faults) {
     FaultOutcome outcome;
@@ -121,6 +139,15 @@ PccReport check_property_coverage(const rtl::Netlist& netlist,
     // property set instead of one BMC sweep per property.
     std::map<rtl::Net, bool> fault_map{{net, stuck_to}};
     const auto multi = checker.check_all_with_faults(properties, fault_map, mc_opts);
+    report.opt_gates_before += multi.opt_gates_before;
+    report.opt_gates_after += multi.opt_gates_after;
+    report.encoded_vars += static_cast<std::size_t>(multi.solver_variables);
+    report.encoded_clauses += multi.solver_clauses;
+    if (multi.opt_incremental) {
+      ++report.incremental_reopts;
+    } else if (multi.opt_gates_before > 0) {
+      ++report.full_rebuilds;
+    }
     for (std::size_t i = 0; i < properties.size(); ++i) {
       if (multi.results[i].status == mc::CheckStatus::falsified) {
         outcome.detected = true;
