@@ -1,0 +1,116 @@
+// E-GEN — seeded platform generation: throughput of expanding a uint64
+// seed into a complete design point per size tier (task graph, partition,
+// platform parameters, traffic stream, tier-shaped netlist), traffic-replay
+// cost on the TLM bus, and an end-to-end campaign over generated platforms
+// through exec::CampaignRunner with the synthetic runtime. The gen_tasks /
+// gen_gates / gen_beats counters are deterministic per seed set and
+// host-independent (hard-gated by scripts/bench_compare.py).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exec/campaign.hpp"
+#include "gen/gen.hpp"
+#include "gen/traffic.hpp"
+
+namespace {
+
+using namespace symbad;
+
+constexpr gen::SizeTier kTiers[] = {gen::SizeTier::small, gen::SizeTier::medium,
+                                    gen::SizeTier::large};
+
+void BM_Gen_PlatformExpansion(benchmark::State& state) {
+  const auto tier = kTiers[state.range(0)];
+  const gen::SweepConfig cfg;
+  // The gated structure counters come from the fixed 16-seed set, not from
+  // however many iterations the timing loop happens to run — they must be
+  // bit-stable across hosts and run lengths.
+  std::uint64_t tasks = 0;
+  std::uint64_t gates = 0;
+  for (int i = 0; i < 16; ++i) {
+    const auto seed = cfg.seed_at(i);
+    tasks += gen::generate_platform(seed, tier).graph.tasks().size();
+    gates += gen::generate_netlist(seed, tier).gate_count();
+  }
+  std::uint64_t digest = 0;
+  int produced = 0;
+  for (auto _ : state) {
+    const auto seed = cfg.seed_at(produced % 16);
+    const auto platform = gen::generate_platform(seed, tier);
+    const auto netlist = gen::generate_netlist(seed, tier);
+    digest ^= gen::platform_digest(platform) ^ gen::netlist_digest(netlist);
+    benchmark::DoNotOptimize(digest);
+    ++produced;
+  }
+  state.counters["gen_tasks"] = static_cast<double>(tasks) / 16.0;
+  state.counters["gen_gates"] = static_cast<double>(gates) / 16.0;
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Gen_PlatformExpansion)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Gen_TrafficReplay(benchmark::State& state) {
+  const int frames = static_cast<int>(state.range(0));
+  const auto model = gen::traffic_for(gen::SweepConfig{}.seed_at(0));
+  std::uint64_t beats = 0;
+  std::uint64_t replays = 0;
+  for (auto _ : state) {
+    const auto report = gen::replay_traffic(model, frames, /*initiators=*/3);
+    beats += report.beats;
+    ++replays;
+    benchmark::DoNotOptimize(report.elapsed);
+  }
+  state.counters["gen_beats"] =
+      static_cast<double>(beats) / static_cast<double>(replays);
+  state.SetItemsProcessed(state.iterations() * frames);
+}
+BENCHMARK(BM_Gen_TrafficReplay)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Gen_CampaignOverGeneratedPlatforms(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  // One platform per tier x levels 1/2/3 — the cross-level shape test_gen
+  // pins for correctness, measured here for throughput.
+  const gen::SweepConfig cfg;
+  std::vector<exec::Scenario> scenarios;
+  for (int i = 0; i < 3; ++i) {
+    const auto platform = gen::generate_platform(cfg.seed_at(i), kTiers[i]);
+    auto group = gen::cross_level_scenarios_for(platform, /*frames=*/4);
+    scenarios.insert(scenarios.end(), group.begin(), group.end());
+  }
+
+  exec::CampaignRunner::Options options;
+  options.workers = workers;
+  exec::CampaignRunner runner{gen::synthetic_runtime_factory(), options};
+
+  double scenarios_per_second = 0.0;
+  for (auto _ : state) {
+    const auto report = runner.run(scenarios);
+    if (report.failures() != 0) state.SkipWithError("scenario failed");
+    scenarios_per_second = report.scenarios_per_second;
+    benchmark::DoNotOptimize(report.results.data());
+  }
+  state.counters["scenarios_per_s"] = scenarios_per_second;
+  state.counters["workers"] = static_cast<double>(workers);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(scenarios.size()));
+}
+BENCHMARK(BM_Gen_CampaignOverGeneratedPlatforms)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -29,7 +29,7 @@ echo "    concurrent siblings — shared fixtures, tmp dirs, env)"
 ctest --test-dir build --output-on-failure -L unit -j "$((JOBS * 2))"
 
 echo "==> [3/6] perf regression: SAT/MC/opt/kernel benches vs BENCH_BASELINE.json"
-BENCH_ONLY="bench_sat bench_mc bench_mc_pcc bench_atpg bench_opt bench_level2_sim" \
+BENCH_ONLY="bench_sat bench_mc bench_mc_pcc bench_atpg bench_opt bench_level2_sim bench_gen" \
   BENCH_OUT=build/bench_candidate.json \
   BENCH_JSON_DIR=build/bench_candidate \
   scripts/bench_baseline.sh build
@@ -49,6 +49,9 @@ SYMBAD_CAMPAIGN_WORKERS=4 ./build-asan/test_exec
 SYMBAD_SAT_COMPACT=2 ./build-asan/test_sat
 ./build-asan/test_opt_incremental
 SYMBAD_OPT_INCREMENTAL=0 ./build-asan/test_opt_incremental
+# Generator + generative differential sweeps sanitized (coroutine traffic
+# replay and the campaign worker pool both allocate aggressively).
+./build-asan/test_gen
 
 echo "==> [6/6] UndefinedBehaviorSanitizer: SAT core (arena offset/shift"
 echo "    arithmetic, header bit packing)"

@@ -124,12 +124,27 @@ FaceStageRuntime::FrameData& FaceStageRuntime::frame_data(int frame) {
   return frames_[frame];
 }
 
+void FaceStageRuntime::set_query_schedule(std::vector<media::QueryRequest> schedule) {
+  for (const auto& q : schedule) {
+    if (q.identity < 0 || q.identity >= db_->identities()) {
+      throw std::invalid_argument{"set_query_schedule: identity out of range"};
+    }
+  }
+  schedule_ = std::move(schedule);
+}
+
 void FaceStageRuntime::begin_frame(int frame) {
   FrameData& data = frame_data(frame);
   if (!data.bayer.empty()) return;  // both sources share the same frame
-  const int id = query_identity(frame, db_->identities());
-  data.bayer = media::camera_capture(media::FaceParams::for_identity(id),
-                                     query_pose(frame), image_size_);
+  int id = query_identity(frame, db_->identities());
+  media::Pose pose = query_pose(frame);
+  if (!schedule_.empty()) {
+    const auto& q = schedule_[static_cast<std::size_t>(frame) % schedule_.size()];
+    id = q.identity;
+    pose = q.pose;
+  }
+  data.bayer = media::camera_capture(media::FaceParams::for_identity(id), pose,
+                                     image_size_);
 }
 
 std::uint64_t FaceStageRuntime::execute_stage(const std::string& stage_name, int frame) {

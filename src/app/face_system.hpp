@@ -62,6 +62,13 @@ public:
   std::uint64_t trace_value(const std::string& stage, int frame) override;
   std::uint32_t extra_read_words(const std::string& stage) const override;
 
+  /// Replaces the default round-robin query stream: frame `f` captures
+  /// `schedule[f % schedule.size()]` instead of `query_identity`/
+  /// `query_pose`. Used by generated workloads (gen::query_schedule) to
+  /// drive the pipeline with seeded bursty traffic. Must be set before the
+  /// first frame is captured; an empty schedule restores the default.
+  void set_query_schedule(std::vector<media::QueryRequest> schedule);
+
   /// Recognition results observed so far (index = frame).
   [[nodiscard]] const std::vector<int>& identities() const noexcept { return identities_; }
   [[nodiscard]] const media::FaceDatabase& database() const noexcept { return *db_; }
@@ -87,6 +94,7 @@ private:
   const media::FaceDatabase* db_;
   media::PipelineConfig config_;
   int image_size_;
+  std::vector<media::QueryRequest> schedule_;
   std::map<int, FrameData> frames_;
   std::vector<int> identities_;
 };

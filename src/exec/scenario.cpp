@@ -9,7 +9,8 @@ std::vector<Scenario> cross_level_scenarios(std::string group,
                                             const core::Partition& partition,
                                             const core::PlatformParams& params,
                                             int frames,
-                                            const std::vector<core::ModelLevel>& levels) {
+                                            const std::vector<core::ModelLevel>& levels,
+                                            std::uint64_t seed) {
   if (group.empty()) {
     throw std::invalid_argument{"cross_level_scenarios: group must be named"};
   }
@@ -24,6 +25,7 @@ std::vector<Scenario> cross_level_scenarios(std::string group,
     s.level = level;
     s.params = params;
     s.frames = frames;
+    s.seed = seed;
     scenarios.push_back(std::move(s));
   }
   return scenarios;

@@ -66,13 +66,16 @@ struct Scenario {
 
 /// Convenience builder: one group of scenarios pushing the same
 /// (graph, partition) through each requested refinement level, so that the
-/// campaign's agreement pass verifies every adjacent pair.
+/// campaign's agreement pass verifies every adjacent pair. `seed` is stamped
+/// into every scenario of the group (generated platforms carry their
+/// platform seed here so runtime factories can rebuild traffic and stimulus).
 [[nodiscard]] std::vector<Scenario> cross_level_scenarios(
     std::string group, const core::TaskGraph& graph,
     const core::Partition& partition, const core::PlatformParams& params,
     int frames, const std::vector<core::ModelLevel>& levels = {
                      core::ModelLevel::untimed_functional,
                      core::ModelLevel::timed_platform,
-                     core::ModelLevel::reconfigurable});
+                     core::ModelLevel::reconfigurable},
+    std::uint64_t seed = 0);
 
 }  // namespace symbad::exec

@@ -1,0 +1,54 @@
+#pragma once
+// Stage semantics for generated platforms.
+//
+// Generated task graphs have no "real" application behind them, but the
+// cross-level verification machinery needs data semantics: every stage must
+// produce a trace value that is identical at levels 1/2/3 and at any
+// campaign worker count. `SyntheticRuntime` provides them as *pure
+// functions* of (stage, frame): a stage's value is a hash over the seed,
+// the stage name, the frame index, the stage's own previous-frame value and
+// its predecessors' same-frame values — a dataflow that mirrors the graph,
+// so a wrong execution order or a lost token changes the trace. Operation
+// counts scale with the platform's traffic stream (gen/traffic.hpp), which
+// makes the timing levels feel the bursty workload while the traced data
+// stays level-invariant.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "core/system_model.hpp"
+#include "core/task_graph.hpp"
+#include "gen/traffic.hpp"
+
+namespace symbad::gen {
+
+/// Data semantics of a generated platform. One instance per scenario per
+/// worker (the campaign factory contract); cheap to construct.
+class SyntheticRuntime final : public core::StageRuntime {
+public:
+  /// `seed` is the platform seed: the traffic stream is rebuilt from it via
+  /// `traffic_for(seed)`, so a bare `exec::Scenario` (graph + seed) fully
+  /// determines the runtime.
+  SyntheticRuntime(core::TaskGraph graph, std::uint64_t seed);
+
+  void reset_run() override;
+  std::uint64_t execute_stage(const std::string& stage, int frame) override;
+  std::uint64_t trace_value(const std::string& stage, int frame) override;
+  std::uint32_t extra_read_words(const std::string& stage) const override;
+
+  [[nodiscard]] const TrafficModel& traffic() const noexcept { return traffic_; }
+
+private:
+  /// Memoized pure value of (stage, frame); see header comment.
+  [[nodiscard]] std::uint64_t value_of(const std::string& stage, int frame);
+
+  core::TaskGraph graph_;
+  std::uint64_t seed_;
+  TrafficModel traffic_;
+  std::map<std::string, int> index_;  ///< stage -> declaration index
+  std::map<std::pair<std::string, int>, std::uint64_t> memo_;
+};
+
+}  // namespace symbad::gen

@@ -56,6 +56,15 @@ struct Pose {
   [[nodiscard]] static Pose frontal() noexcept { return Pose{}; }
 };
 
+/// One recognition query: which identity is shown and under what
+/// acquisition conditions. A schedule of these (e.g. from gen's seeded
+/// workload generator) can replace the default round-robin query stream of
+/// the application runtime.
+struct QueryRequest {
+  int identity = 0;
+  Pose pose{};
+};
+
 /// Intensity of the canonical face at canonical coordinates (fx, fy) given
 /// in Q8 fixed point relative to the face centre. Exposed for testing.
 [[nodiscard]] int face_intensity(const FaceParams& params, int fx_q8, int fy_q8);

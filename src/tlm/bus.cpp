@@ -43,6 +43,7 @@ sim::Task<void> Bus::transport(Payload payload) {
   co_await grant_.lock();
   const sim::Time waited = kernel().now() - requested_at;
   if (waited > worst_wait_) worst_wait_ = waited;
+  total_wait_ += waited;
 
   Target& target = resolve(payload.address);
   const sim::Time duration = transaction_time(payload);

@@ -74,6 +74,9 @@ public:
   }
   /// Longest time any initiator waited for the grant.
   [[nodiscard]] sim::Time worst_grant_wait() const noexcept { return worst_wait_; }
+  /// Summed grant-wait time across all transactions (contention pressure:
+  /// heavy-tailed traffic shows up here long before it moves the worst case).
+  [[nodiscard]] sim::Time total_grant_wait() const noexcept { return total_wait_; }
 
 private:
   struct Mapping {
@@ -91,6 +94,7 @@ private:
   std::uint64_t beats_ = 0;
   sim::Time busy_;
   sim::Time worst_wait_;
+  sim::Time total_wait_;
 };
 
 /// Timing-level memory model (SRAM / flash): fixed first-access latency plus

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <memory>
 #include <stdexcept>
@@ -17,12 +18,14 @@
 #include "core/explorer.hpp"
 #include "exec/campaign.hpp"
 #include "exec/scenario.hpp"
+#include "gen/gen.hpp"
 #include "media/database.hpp"
 #include "support/test_util.hpp"
 
 namespace app = symbad::app;
 namespace core = symbad::core;
 namespace exec = symbad::exec;
+namespace gen = symbad::gen;
 namespace media = symbad::media;
 
 namespace {
@@ -139,6 +142,42 @@ TEST(Campaign, CrossLevelAgreementVerdictsAcrossEightSeeds) {
   }
   EXPECT_TRUE(report.clean());
   EXPECT_NE(report.to_string().find("all levels agree"), std::string::npos);
+}
+
+TEST(Campaign, GeneratedPlatformsExtendTheCrossLevelSweep) {
+  // The agreement machinery on platforms nobody hand-picked: one generated
+  // design point per size tier, all three levels, at two worker counts —
+  // every adjacent-level pair agrees and the traces are worker-invariant,
+  // exactly as on the face-recognition sweep above.
+  const gen::SweepConfig cfg;
+  const gen::SizeTier tiers[] = {gen::SizeTier::small, gen::SizeTier::medium,
+                                 gen::SizeTier::large};
+  std::vector<exec::Scenario> scenarios;
+  for (int i = 0; i < 3; ++i) {
+    const auto platform = gen::generate_platform(cfg.seed_at(i), tiers[i]);
+    auto group = gen::cross_level_scenarios_for(platform, /*frames=*/3);
+    scenarios.insert(scenarios.end(), std::make_move_iterator(group.begin()),
+                     std::make_move_iterator(group.end()));
+  }
+  ASSERT_EQ(scenarios.size(), 9u);
+
+  std::vector<std::vector<std::uint64_t>> fingerprints;
+  for (const int workers : {1, 3}) {
+    exec::CampaignRunner::Options options;
+    options.workers = workers;
+    exec::CampaignRunner runner{gen::synthetic_runtime_factory(), options};
+    const auto report = runner.run(scenarios);
+    ASSERT_EQ(report.failures(), 0u) << report.to_string();
+    ASSERT_EQ(report.agreements.size(), 6u);
+    for (const auto& v : report.agreements) {
+      EXPECT_TRUE(v.agree) << v.group << ": L" << v.lower_level << " vs L"
+                           << v.higher_level << ": " << v.detail;
+    }
+    std::vector<std::uint64_t> fp;
+    for (const auto& r : report.results) fp.push_back(r.report.trace.fingerprint());
+    fingerprints.push_back(std::move(fp));
+  }
+  EXPECT_EQ(fingerprints[0], fingerprints[1]);
 }
 
 TEST(Campaign, DisagreementIsDetectedAndExplained) {

@@ -6,12 +6,14 @@
 #include <cstdint>
 
 #include "app/rtl_blocks.hpp"
+#include "gen/gen.hpp"
 #include "mc/mc.hpp"
 #include "pcc/pcc.hpp"
 #include "rtl/wordops.hpp"
 #include "sat/solver.hpp"
 #include "support/test_util.hpp"
 
+namespace gen = symbad::gen;
 namespace mc = symbad::mc;
 namespace pcc = symbad::pcc;
 namespace app = symbad::app;
@@ -370,34 +372,11 @@ TEST(McCompact, ForcedVsNeverIsBitIdenticalOnRandomNetlists) {
   // property under both compaction modes. Seeded via SYMBAD_TEST_SEED.
   auto rng = symbad::test::rng("mc_compact_fuzz");
   for (int round = 0; round < 4; ++round) {
-    rtl::Netlist n{"fuzz" + std::to_string(round)};
-    std::vector<rtl::Net> pool;
-    for (int i = 0; i < 4; ++i) pool.push_back(n.add_input("i" + std::to_string(i)));
-    std::vector<rtl::Net> dffs;
-    for (int i = 0; i < 3; ++i) {
-      const rtl::Net d = n.add_dff((rng.next() & 1) != 0, "r" + std::to_string(i));
-      dffs.push_back(d);
-      pool.push_back(d);
-    }
-    const auto pick = [&] {
-      return pool[static_cast<std::size_t>(rng.below(pool.size()))];
-    };
-    for (int g = 0; g < 40; ++g) {
-      rtl::Net fresh = -1;
-      switch (rng.below(5)) {
-        case 0: fresh = n.add_and(pick(), pick()); break;
-        case 1: fresh = n.add_or(pick(), pick()); break;
-        case 2: fresh = n.add_xor(pick(), pick()); break;
-        case 3: fresh = n.add_not(pick()); break;
-        default: fresh = n.add_mux(pick(), pick(), pick()); break;
-      }
-      pool.push_back(fresh);
-    }
-    for (const rtl::Net d : dffs) n.connect_next(d, pick());
-    const std::size_t half = pool.size() / 2;
-    n.set_output("o0", pool[half + static_cast<std::size_t>(rng.below(pool.size() - half))]);
-    n.set_output("o1", pool[half + static_cast<std::size_t>(rng.below(pool.size() - half))]);
-    n.validate();
+    // redundancy = 0: plain mixed logic, matching this test's original
+    // hand-rolled builder (compaction identity must not rely on the
+    // optimizer having anything to chew on).
+    const auto n = gen::random_netlist(rng, {4, 3, 40, 2, 0.0},
+                                       "fuzz" + std::to_string(round));
 
     const mc::ModelChecker checker{n};
     expect_compact_equivalent(
@@ -406,6 +385,25 @@ TEST(McCompact, ForcedVsNeverIsBitIdenticalOnRandomNetlists) {
         checker,
         mc::Property::next("o0_sticky", mc::Expr::signal("o0"), mc::Expr::signal("o1")),
         {8, 2});
+  }
+}
+
+TEST(McCompact, GeneratedTierNetlistsCompactBitIdentical) {
+  // Compaction purity on generator-scale designs: a couple of seeds per size
+  // tier from the shared sweep stream (the full-width differential lives in
+  // test_opt; this pins the clause mover against 300+-gate cones too).
+  gen::SweepConfig cfg;
+  cfg.count = 2;
+  for (const auto tier : cfg.tiers()) {
+    for (int i = 0; i < cfg.count; ++i) {
+      const std::uint64_t seed = cfg.seed_at(i);
+      const auto n = gen::generate_netlist(seed, tier);
+      const mc::ModelChecker checker{n};
+      const auto o0 = mc::Expr::signal("o0");
+      const auto o1 = mc::Expr::signal("o1");
+      expect_compact_equivalent(
+          checker, mc::Property::invariant("inv_nand", !(o0 && o1)), {4, 2});
+    }
   }
 }
 

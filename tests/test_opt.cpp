@@ -12,6 +12,7 @@
 
 #include "app/rtl_blocks.hpp"
 #include "atpg/atpg.hpp"
+#include "gen/gen.hpp"
 #include "mc/mc.hpp"
 #include "opt/equiv.hpp"
 #include "opt/optimizer.hpp"
@@ -25,6 +26,7 @@ namespace mc = symbad::mc;
 namespace rtl = symbad::rtl;
 namespace app = symbad::app;
 namespace atpg = symbad::atpg;
+namespace gen = symbad::gen;
 using symbad::verif::Rng;
 
 namespace {
@@ -38,72 +40,12 @@ opt::OptimizerOptions pinned_options() {
 
 // ------------------------------------------------ random netlist harness
 
-/// Seeded random netlist over every GateKind (dff and mux included), with
-/// deliberate redundancy (structural duplicates, double negations, x&x,
-/// x&~x, equal mux arms) so the optimizer has real work to do.
+/// Seeded random netlist with deliberate redundancy — the recipe now lives
+/// in gen::random_netlist (this harness is where it was grown; the shared
+/// generator reproduces the exact same instances for the same Rng stream).
 rtl::Netlist random_netlist(Rng& rng, int n_inputs, int n_dffs, int n_gates,
                             int n_outputs) {
-  rtl::Netlist n{"fuzz"};
-  std::vector<rtl::Net> pool;
-  for (int i = 0; i < n_inputs; ++i) {
-    pool.push_back(n.add_input("i" + std::to_string(i)));
-  }
-  std::vector<rtl::Net> dffs;
-  for (int i = 0; i < n_dffs; ++i) {
-    const rtl::Net d = n.add_dff((rng.next() & 1) != 0, "r" + std::to_string(i));
-    dffs.push_back(d);
-    pool.push_back(d);
-  }
-  pool.push_back(n.constant(false));
-  pool.push_back(n.constant(true));
-
-  const auto pick = [&] { return pool[static_cast<std::size_t>(rng.below(pool.size()))]; };
-  for (int g = 0; g < n_gates; ++g) {
-    rtl::Net fresh = -1;
-    if (rng.chance(0.25)) {
-      // Redundancy injection.
-      switch (rng.below(5)) {
-        case 0: {  // structural duplicate of an existing binary gate
-          const rtl::Net victim = pick();
-          const auto& gate = n.gate(victim);
-          if (gate.kind == rtl::GateKind::and_gate) {
-            fresh = n.add_and(gate.a, gate.b);
-          } else if (gate.kind == rtl::GateKind::or_gate) {
-            fresh = n.add_or(gate.b, gate.a);  // commuted on purpose
-          } else {
-            fresh = n.add_xor(victim, victim);  // x ^ x
-          }
-          break;
-        }
-        case 1: fresh = n.add_not(n.add_not(pick())); break;
-        case 2: { const rtl::Net x = pick(); fresh = n.add_and(x, x); break; }
-        case 3: { const rtl::Net x = pick(); fresh = n.add_and(x, n.add_not(x)); break; }
-        default: {
-          const rtl::Net arm = pick();
-          fresh = n.add_mux(pick(), arm, arm);
-          break;
-        }
-      }
-    } else {
-      switch (rng.below(5)) {
-        case 0: fresh = n.add_and(pick(), pick()); break;
-        case 1: fresh = n.add_or(pick(), pick()); break;
-        case 2: fresh = n.add_xor(pick(), pick()); break;
-        case 3: fresh = n.add_not(pick()); break;
-        default: fresh = n.add_mux(pick(), pick(), pick()); break;
-      }
-    }
-    pool.push_back(fresh);
-  }
-  for (const rtl::Net d : dffs) n.connect_next(d, pick());
-  // Outputs biased towards late nets so the cones are deep.
-  for (int o = 0; o < n_outputs; ++o) {
-    const std::size_t half = pool.size() / 2;
-    const std::size_t idx = half + static_cast<std::size_t>(rng.below(pool.size() - half));
-    n.set_output("o" + std::to_string(o), pool[idx]);
-  }
-  n.validate();
-  return n;
+  return gen::random_netlist(rng, {n_inputs, n_dffs, n_gates, n_outputs, 0.25});
 }
 
 /// Drives both netlists with the same random stimulus and requires every
@@ -449,6 +391,46 @@ TEST(OptFuzz, McVerdictsIdenticalUnderInjectedFaults) {
       for (const bool stuck_to : {false, true}) {
         expect_opt_equivalent(checker, prop, {{site, stuck_to}}, {6, 3});
       }
+    }
+  }
+}
+
+// ------------------------------------------------- generative tier sweeps
+
+TEST(OptGenerative, TieredNetlistsSimulateIdenticallyAfterOptimization) {
+  // The shared generator's tier-shaped netlists (small/medium/large), each
+  // optimized and required to simulate cycle-for-cycle like the original.
+  // SYMBAD_GEN_COUNT / SYMBAD_GEN_TIER / SYMBAD_GEN_SEED reshape the sweep.
+  const auto cfg = gen::SweepConfig::from_env();
+  for (const auto tier : cfg.tiers()) {
+    for (int i = 0; i < cfg.count; ++i) {
+      const std::uint64_t seed = cfg.seed_at(i);
+      const auto n = gen::generate_netlist(seed, tier);
+      const auto result = opt::optimize(n, pinned_options());
+      EXPECT_LE(result.netlist.gate_count(), n.gate_count())
+          << gen::to_string(tier) << " seed " << seed;
+      auto stimulus = symbad::test::rng(seed ^ 0xC0FFEEULL);
+      expect_simulation_equivalent(n, result.netlist, stimulus, 2, 24);
+    }
+  }
+}
+
+TEST(OptGenerative, TieredMcVerdictsIdenticalOptOnVsOff) {
+  // The opt-on/off differential gate over the generated corpus: for every
+  // tier, N generated netlists, one invariant and one next property each —
+  // verdict / bound_used / canonical counterexample bit-identical.
+  const auto cfg = gen::SweepConfig::from_env();
+  for (const auto tier : cfg.tiers()) {
+    for (int i = 0; i < cfg.count; ++i) {
+      const std::uint64_t seed = cfg.seed_at(i);
+      const auto n = gen::generate_netlist(seed, tier);
+      const mc::ModelChecker checker{n};
+      const auto o0 = mc::Expr::signal("o0");
+      const auto o1 = mc::Expr::signal("o1");
+      expect_opt_equivalent(checker, mc::Property::invariant("inv_nand", !(o0 && o1)),
+                            {}, {4, 2});
+      expect_opt_equivalent(checker, mc::Property::next("next_imp", o0, o1), {},
+                            {4, 2});
     }
   }
 }

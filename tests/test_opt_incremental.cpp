@@ -15,6 +15,7 @@
 
 #include "app/rtl_blocks.hpp"
 #include "atpg/atpg.hpp"
+#include "gen/gen.hpp"
 #include "mc/mc.hpp"
 #include "opt/optimizer.hpp"
 #include "opt/session.hpp"
@@ -28,6 +29,7 @@ namespace rtl = symbad::rtl;
 namespace app = symbad::app;
 namespace atpg = symbad::atpg;
 namespace pcc = symbad::pcc;
+namespace gen = symbad::gen;
 using symbad::verif::Rng;
 
 namespace {
@@ -39,70 +41,12 @@ opt::OptimizerOptions pinned_options() {
   return o;
 }
 
-/// Same seeded random netlist generator as test_opt.cpp: every GateKind,
-/// deliberate redundancy so both the baseline pipeline and the per-fault
-/// splice have real work to do.
+/// Same seeded random netlist generator as test_opt.cpp — the shared
+/// gen::random_netlist recipe (identical Rng stream, identical instances),
+/// so both the baseline pipeline and the per-fault splice have real work.
 rtl::Netlist random_netlist(Rng& rng, int n_inputs, int n_dffs, int n_gates,
                             int n_outputs) {
-  rtl::Netlist n{"fuzz"};
-  std::vector<rtl::Net> pool;
-  for (int i = 0; i < n_inputs; ++i) {
-    pool.push_back(n.add_input("i" + std::to_string(i)));
-  }
-  std::vector<rtl::Net> dffs;
-  for (int i = 0; i < n_dffs; ++i) {
-    const rtl::Net d = n.add_dff((rng.next() & 1) != 0, "r" + std::to_string(i));
-    dffs.push_back(d);
-    pool.push_back(d);
-  }
-  pool.push_back(n.constant(false));
-  pool.push_back(n.constant(true));
-
-  const auto pick = [&] { return pool[static_cast<std::size_t>(rng.below(pool.size()))]; };
-  for (int g = 0; g < n_gates; ++g) {
-    rtl::Net fresh = -1;
-    if (rng.chance(0.25)) {
-      switch (rng.below(5)) {
-        case 0: {
-          const rtl::Net victim = pick();
-          const auto& gate = n.gate(victim);
-          if (gate.kind == rtl::GateKind::and_gate) {
-            fresh = n.add_and(gate.a, gate.b);
-          } else if (gate.kind == rtl::GateKind::or_gate) {
-            fresh = n.add_or(gate.b, gate.a);
-          } else {
-            fresh = n.add_xor(victim, victim);
-          }
-          break;
-        }
-        case 1: fresh = n.add_not(n.add_not(pick())); break;
-        case 2: { const rtl::Net x = pick(); fresh = n.add_and(x, x); break; }
-        case 3: { const rtl::Net x = pick(); fresh = n.add_and(x, n.add_not(x)); break; }
-        default: {
-          const rtl::Net arm = pick();
-          fresh = n.add_mux(pick(), arm, arm);
-          break;
-        }
-      }
-    } else {
-      switch (rng.below(5)) {
-        case 0: fresh = n.add_and(pick(), pick()); break;
-        case 1: fresh = n.add_or(pick(), pick()); break;
-        case 2: fresh = n.add_xor(pick(), pick()); break;
-        case 3: fresh = n.add_not(pick()); break;
-        default: fresh = n.add_mux(pick(), pick(), pick()); break;
-      }
-    }
-    pool.push_back(fresh);
-  }
-  for (const rtl::Net d : dffs) n.connect_next(d, pick());
-  for (int o = 0; o < n_outputs; ++o) {
-    const std::size_t half = pool.size() / 2;
-    const std::size_t idx = half + static_cast<std::size_t>(rng.below(pool.size() - half));
-    n.set_output("o" + std::to_string(o), pool[idx]);
-  }
-  n.validate();
-  return n;
+  return gen::random_netlist(rng, {n_inputs, n_dffs, n_gates, n_outputs, 0.25});
 }
 
 /// Internal fault sites of the PCC shape: a few gates/registers, skipping
@@ -387,6 +331,35 @@ TEST(IncFuzz, RandomNetlistFaultCampaignsThreeWayIdentical) {
       reopt.netlist.validate();
       auto stimulus = symbad::test::rng(8000 + seed);
       expect_splice_simulates_fault(n, faults, reopt.netlist, stimulus, 2, 24);
+    }
+  }
+}
+
+TEST(IncFuzz, GeneratedTierSweepThreeWayIdentical) {
+  // The generated corpus (small/medium/large tiers) through the same
+  // acceptance gate: incremental splice vs full per-fault rebuild vs
+  // optimize-off, bit-identical per fault. SYMBAD_GEN_COUNT / _TIER / _SEED
+  // reshape the sweep.
+  const auto cfg = gen::SweepConfig::from_env();
+  for (const auto tier : cfg.tiers()) {
+    for (int i = 0; i < cfg.count; ++i) {
+      const std::uint64_t seed = cfg.seed_at(i);
+      const auto n = gen::generate_netlist(seed, tier);
+      const mc::ModelChecker checker{n};
+      const opt::PreprocessSession incremental{n, pinned_options()};
+      auto full_options = pinned_options();
+      full_options.incremental = false;
+      const opt::PreprocessSession full{n, full_options};
+      const auto prop = mc::Property::invariant(
+          "inv", !(mc::Expr::signal("o0") && mc::Expr::signal("o1")));
+      const auto sites = sample_fault_sites(n, 1);
+      ASSERT_FALSE(sites.empty()) << gen::to_string(tier) << " seed " << seed;
+      for (const bool stuck_to : {false, true}) {
+        const std::map<rtl::Net, bool> faults{{sites.front(), stuck_to}};
+        expect_three_way_identical(checker, prop, faults, {4, 2}, incremental, full);
+      }
+      EXPECT_GT(incremental.stats().incremental, 0u)
+          << gen::to_string(tier) << " seed " << seed;
     }
   }
 }

@@ -12,12 +12,15 @@
 
 #include "app/face_system.hpp"
 #include "core/system_model.hpp"
+#include "gen/gen.hpp"
+#include "gen/runtime.hpp"
 #include "media/database.hpp"
 #include "support/test_util.hpp"
 #include "verif/coverage.hpp"
 #include "verif/fault.hpp"
 #include "verif/rng.hpp"
 
+namespace gen = symbad::gen;
 namespace verif = symbad::verif;
 
 // ------------------------------------------------------------- coverage
@@ -314,4 +317,55 @@ TEST(Coverage, MergeAccumulatesHitsAndUnionsDeclarations) {
   EXPECT_EQ(merged.branches_covered(), 1);
   EXPECT_TRUE(a.modules().contains("other"));
   EXPECT_EQ(a.report().statement_total, 4);
+}
+
+TEST(Coverage, GeneratedPlatformCoverageIsIndependentOfMergeSplit) {
+  // The campaign merge contract on generated workloads: two generated
+  // platforms instrumented into one shared database must report exactly
+  // what two per-worker databases merged after the fact report — the
+  // split across workers is invisible.
+  const gen::SweepConfig cfg;
+  const auto p0 = gen::generate_platform(cfg.seed_at(0), gen::SizeTier::small);
+  const auto p1 = gen::generate_platform(cfg.seed_at(1), gen::SizeTier::medium);
+
+  const auto simulate = [](const gen::GeneratedPlatform& p) {
+    gen::SyntheticRuntime runtime{p.graph, p.seed};
+    symbad::core::SystemModel level1{p.graph, p.partition, runtime, p.params,
+                                     symbad::core::ModelLevel::untimed_functional};
+    (void)level1.run(3);
+  };
+
+  verif::CoverageDb shared;
+  {
+    verif::CoverageDb::Scope scope{shared};
+    simulate(p0);
+    simulate(p1);
+  }
+
+  verif::CoverageDb worker0;
+  {
+    verif::CoverageDb::Scope scope{worker0};
+    simulate(p0);
+  }
+  verif::CoverageDb worker1;
+  {
+    verif::CoverageDb::Scope scope{worker1};
+    simulate(p1);
+  }
+  worker0.merge_from(worker1);
+
+  const auto want = shared.report();
+  const auto got = worker0.report();
+  EXPECT_GT(want.statement_total, 0);
+  EXPECT_EQ(got.statement_total, want.statement_total);
+  EXPECT_EQ(got.statement_covered, want.statement_covered);
+  EXPECT_EQ(got.branch_total, want.branch_total);
+  EXPECT_EQ(got.branch_covered, want.branch_covered);
+  // Hit counts, not just covered-point counts, must match per statement.
+  const auto& a_mod = shared.modules().at("gen.synthetic");
+  const auto& b_mod = worker0.modules().at("gen.synthetic");
+  ASSERT_EQ(a_mod.statement_points(), b_mod.statement_points());
+  for (int i = 0; i < a_mod.statement_points(); ++i) {
+    EXPECT_EQ(a_mod.statement_hits(i), b_mod.statement_hits(i)) << i;
+  }
 }
