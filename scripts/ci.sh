@@ -2,15 +2,17 @@
 # CI gate for the Symbad repro: the tier-1 build+test loop, a parallel-safety
 # pass over the unit label, an AddressSanitizer configure/build/ctest pass
 # with the threaded campaign runner explicitly exercised at 4 workers, a
-# perf-regression pass over the SAT/MC/opt/kernel benches against the
-# committed BENCH_BASELINE.json, and an UndefinedBehaviorSanitizer pass over
+# perf-regression pass over the SAT/MC/opt/kernel/lint benches against the
+# committed BENCH_BASELINE.json, an UndefinedBehaviorSanitizer pass over
 # the SAT core (the clause arena lives on raw offset arithmetic — UBSan is
-# the cheapest way to catch a bad ref before it corrupts a verdict).
+# the cheapest way to catch a bad ref before it corrupts a verdict), a
+# ThreadSanitizer pass over the threaded campaign/generator suites, and an
+# opt-in clang-tidy sweep (skipped when the tool is not installed).
 # Timings are warn-only (this runs on a shared 1-core host where wall-clock
 # swings with neighbours);
-# allocation-count, conflict-count, encoded-CNF-size and optimizer
-# gate/sweep counters are host-independent and hard-fail beyond 20%.
-# Any failure exits nonzero.
+# allocation-count, conflict-count, encoded-CNF-size, optimizer gate/sweep
+# and lint rule/proof/prune counters are host-independent and hard-fail
+# beyond 20%. Any failure exits nonzero.
 #
 # Usage: scripts/ci.sh [jobs]   (jobs defaults to nproc)
 
@@ -19,28 +21,28 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "==> [1/6] tier-1: Release build + full ctest"
+echo "==> [1/8] tier-1: Release build + full ctest"
 cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "==> [2/6] parallel-safety: ctest -L unit -j (suites must tolerate"
+echo "==> [2/8] parallel-safety: ctest -L unit -j (suites must tolerate"
 echo "    concurrent siblings — shared fixtures, tmp dirs, env)"
 ctest --test-dir build --output-on-failure -L unit -j "$((JOBS * 2))"
 
-echo "==> [3/6] perf regression: SAT/MC/opt/kernel benches vs BENCH_BASELINE.json"
-BENCH_ONLY="bench_sat bench_mc bench_mc_pcc bench_atpg bench_opt bench_level2_sim bench_gen" \
+echo "==> [3/8] perf regression: SAT/MC/opt/kernel/lint benches vs BENCH_BASELINE.json"
+BENCH_ONLY="bench_sat bench_mc bench_mc_pcc bench_atpg bench_opt bench_level2_sim bench_gen bench_lint" \
   BENCH_OUT=build/bench_candidate.json \
   BENCH_JSON_DIR=build/bench_candidate \
   scripts/bench_baseline.sh build
 scripts/bench_compare.py --candidate build/bench_candidate.json --time-mode warn
 
-echo "==> [4/6] AddressSanitizer build + full ctest"
+echo "==> [4/8] AddressSanitizer build + full ctest"
 SYMBAD_SANITIZE=address cmake -B build-asan -S .
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "==> [5/6] threaded campaign runner + SAT arena under ASan (4 workers;"
+echo "==> [5/8] threaded campaign runner + SAT arena under ASan (4 workers;"
 echo "    step 4's full ctest already covers every suite sanitized — these"
 echo "    re-runs exist for the non-default worker count, for the"
 echo "    compaction paths forced through every reduction, and for the"
@@ -52,10 +54,31 @@ SYMBAD_OPT_INCREMENTAL=0 ./build-asan/test_opt_incremental
 # Generator + generative differential sweeps sanitized (coroutine traffic
 # replay and the campaign worker pool both allocate aggressively).
 ./build-asan/test_gen
+# Lint boundary self-checks + SAT-backed semantic tier sanitized, with the
+# strict-mode prover forced on.
+SYMBAD_LINT=2 ./build-asan/test_lint
 
-echo "==> [6/6] UndefinedBehaviorSanitizer: SAT core (arena offset/shift"
+echo "==> [6/8] UndefinedBehaviorSanitizer: SAT core (arena offset/shift"
 echo "    arithmetic, header bit packing)"
 SYMBAD_SANITIZE=undefined cmake -B build-ubsan -S .
 cmake --build build-ubsan -j "$JOBS" --target test_sat
 SYMBAD_SAT_COMPACT=2 ./build-ubsan/test_sat
+
+echo "==> [7/8] ThreadSanitizer: campaign worker pool + generator sweeps"
+echo "    (the only threaded subsystem is exec::CampaignRunner — TSan the"
+echo "    suites that drive it, at the non-default 4-worker count)"
+SYMBAD_SANITIZE=thread cmake -B build-tsan -S .
+cmake --build build-tsan -j "$JOBS" --target test_exec test_gen
+SYMBAD_CAMPAIGN_WORKERS=4 ./build-tsan/test_exec
+SYMBAD_CAMPAIGN_WORKERS=4 ./build-tsan/test_gen
+
+echo "==> [8/8] clang-tidy (opt-in: skipped when the tool is absent —"
+echo "    the CI container ships only the gcc toolchain)"
+if command -v clang-tidy >/dev/null 2>&1; then
+  # compile_commands.json is exported by the tier-1 configure in step 1.
+  mapfile -t _tidy_sources < <(git ls-files 'src/*.cpp')
+  clang-tidy -p build --warnings-as-errors='*' "${_tidy_sources[@]}"
+else
+  echo "    clang-tidy not found; skipping (config kept in .clang-tidy)"
+fi
 echo "==> CI green"

@@ -6,6 +6,7 @@
 #include <span>
 #include <stdexcept>
 
+#include "lint/lint.hpp"
 #include "opt/optimizer.hpp"
 #include "opt/session.hpp"
 
@@ -177,6 +178,31 @@ std::vector<std::string> collect_observed(std::span<const Property> properties,
   std::sort(names.begin(), names.end());
   names.erase(std::unique(names.begin(), names.end()), names.end());
   return names;
+}
+
+/// The lint fault prune (Options::lint_prune_faults): drops fault-map
+/// entries outside the backward cone of influence of every observed output.
+/// The COI closure crosses registers, so a dropped fault cannot change an
+/// observed output at any frame under any stimulus — baking its constant
+/// (or not) leaves the encoded behaviour identical, which is what makes the
+/// prune exact. Returns the input map untouched when pruning is disabled,
+/// nothing prunes, or everything would prune (a fully-invisible fault map
+/// still runs, keeping the splice-vs-baseline session shape intact).
+std::map<rtl::Net, bool> pruned_faults(const rtl::Netlist& netlist,
+                                       std::span<const Property> properties,
+                                       const std::map<rtl::Net, bool>& faults,
+                                       const ModelChecker::Options& options) {
+  if (!options.lint_prune_faults || faults.empty() ||
+      lint::mode_from_env() == lint::Mode::off) {
+    return faults;
+  }
+  const lint::FaultPruner pruner{netlist, collect_observed(properties)};
+  std::map<rtl::Net, bool> kept;
+  for (const auto& [net, value] : faults) {
+    if (!pruner.undetectable(net, value)) kept.emplace(net, value);
+  }
+  if (kept.empty()) return faults;
+  return kept;
 }
 
 /// One long-lived solver + frame chain + encode cache serving every BMC
@@ -468,7 +494,13 @@ CheckResult ModelChecker::check_with_faults(const Property& property,
                                             const std::map<rtl::Net, bool>& faults,
                                             Options options) const {
   CheckResult result;
-  Session s{*netlist_, {&property, 1}, faults, options};
+  const std::map<rtl::Net, bool> faults_kept =
+      pruned_faults(*netlist_, {&property, 1}, faults, options);
+  Session s{*netlist_, {&property, 1}, faults_kept, options};
+  // Counterexample read-out consults the FULL map: a pruned stuck-at on a
+  // primary input still pins that input in the faulty design, and the trace
+  // must report the forced value bit-identically to an unpruned run.
+  s.faults = &faults;
 
   // ---------------- BMC from reset --------------------------------------
   for (int i = 0; i <= options.max_bound; ++i) {
@@ -531,7 +563,11 @@ MultiCheckResult ModelChecker::check_all_with_faults(
   MultiCheckResult multi;
   multi.results.resize(properties.size());
   if (properties.empty()) return multi;
-  Session s{*netlist_, {properties.data(), properties.size()}, faults, options};
+  const std::map<rtl::Net, bool> faults_kept = pruned_faults(
+      *netlist_, {properties.data(), properties.size()}, faults, options);
+  Session s{*netlist_, {properties.data(), properties.size()}, faults_kept, options};
+  // Counterexample read-out consults the FULL map (see check_with_faults).
+  s.faults = &faults;
 
   const std::size_t n = properties.size();
   std::vector<Lit> activation(n);

@@ -234,6 +234,17 @@ public:
     /// canonical counterexamples are bit-identical to the session-free
     /// path. Non-owning; single-threaded use, must outlive the check.
     const opt::PreprocessSession* preprocess_session = nullptr;
+    /// Drop fault-map entries the lint fault prune proves invisible to the
+    /// checked properties (outside the backward cone of influence of every
+    /// observed output — the closure crosses registers, so the fault cannot
+    /// change an observed output at ANY frame). Exact: the faulty netlist's
+    /// observed behaviour is identical with or without the dropped
+    /// constants, so verdicts, bound_used and canonical counterexamples are
+    /// unchanged — only the preprocessing splice and encoding shrink. A
+    /// fault map that would prune to empty runs unfiltered, keeping the
+    /// splice-vs-baseline session shape observable to its tests. Gated by
+    /// SYMBAD_LINT=0 globally (lint::Mode::off disables the prune too).
+    bool lint_prune_faults = true;
   };
 
   explicit ModelChecker(const rtl::Netlist& netlist) : netlist_{&netlist} {}

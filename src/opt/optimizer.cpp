@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/env.hpp"
+#include "lint/lint.hpp"
 #include "opt/rebuild.hpp"
 #include "opt/sweep.hpp"
 
@@ -238,6 +239,10 @@ OptimizeResult Optimizer::run(const Netlist& input) const {
 
   result.netlist = std::move(r1.netlist);
   result.map = std::move(r1.map);
+  // Default-on boundary self-check (SYMBAD_LINT): every pipeline output
+  // must be free of error-severity findings. keep_all_nets output dangles
+  // by design — that is warning severity, not an error.
+  lint::check_netlist(result.netlist, "opt");
   return result;
 }
 

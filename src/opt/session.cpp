@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "lint/lint.hpp"
+
 namespace symbad::opt {
 
 using rtl::Gate;
@@ -172,6 +174,12 @@ OptimizeResult PreprocessSession::reoptimize(
                                  b.netlist().gate_histogram()});
   out.netlist = b.take();
   stats_.cone_nets += cone_nets;
+  // Default-on splice self-check (SYMBAD_LINT): the cone splice is exactly
+  // the construction that produced PR 7's out-of-range operand bug, so its
+  // output is structurally linted on every reoptimize. Structural tier
+  // only, even under SYMBAD_LINT=2 — a campaign splices thousands of
+  // times and the semantic proofs are campaign-invariant.
+  lint::check_netlist(out.netlist, "opt.splice", /*allow_semantic=*/false);
   return out;
 }
 

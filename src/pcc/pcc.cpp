@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "lint/lint.hpp"
 #include "opt/session.hpp"
 #include "verif/rng.hpp"
 
@@ -120,6 +121,25 @@ PccReport check_property_coverage(const rtl::Netlist& netlist,
     }
   }
 
+  // A-priori fault prune (PccOptions::lint_prune): faults the FaultPruner
+  // proves cannot change any observed output skip the BMC stage. The sim
+  // pre-pass is NOT skipped — it draws from the shared sequential rng, and
+  // dropping a fault's draws would shift every later fault's stimuli (the
+  // prune must leave verdicts bit-identical). "Pruned => undetected" is
+  // only exact when the GOOD design is BMC-clean (a property the fault-free
+  // design already falsifies is "detected" for every fault in this grading,
+  // visible or not), so the first prunable sim-missed fault lazily runs one
+  // fault-free probe; a dirty probe disables the prune for the campaign.
+  std::optional<lint::FaultPruner> pruner;
+  if (options.lint_prune && lint::mode_from_env() != lint::Mode::off) {
+    lint::FaultPruner::Options po;
+    po.semantic = lint::mode_from_env() == lint::Mode::semantic;
+    pruner.emplace(netlist,
+                   mc::observed_outputs({properties.data(), properties.size()}),
+                   po);
+  }
+  bool good_design_probed = false;
+
   for (const auto& [net, stuck_to] : faults) {
     FaultOutcome outcome;
     outcome.net = net;
@@ -133,6 +153,26 @@ PccReport check_property_coverage(const rtl::Netlist& netlist,
       ++report.detected;
       ++report.detected_by_simulation;
       continue;
+    }
+    if (pruner && pruner->undetectable(net, stuck_to)) {
+      if (!good_design_probed) {
+        good_design_probed = true;
+        const auto probe =
+            checker.check_all_with_faults(properties, {}, mc_opts);
+        for (const auto& r : probe.results) {
+          if (r.status == mc::CheckStatus::falsified) {
+            pruner.reset();  // good design dirty: prune off for the campaign
+            break;
+          }
+        }
+      }
+      if (pruner) {
+        // The faulty design's observed behaviour is provably the good
+        // design's, and the good design passes: undetected, no BMC slot.
+        ++report.lint_pruned_faults;
+        report.undetected.push_back(outcome);
+        continue;
+      }
     }
     // Portfolio BMC: all properties on one solver per fault — undetectable
     // faults (the common case) cost one UNSAT solve per bound for the whole

@@ -35,6 +35,10 @@ struct PccReport {
   std::size_t detected_by_simulation = 0;
   std::size_t detected_by_bmc = 0;
   std::vector<FaultOutcome> undetected;  ///< the missing-property hints
+  /// Faults classified undetected by the lint::FaultPruner proof instead of
+  /// a BMC run (PccOptions::lint_prune). Counted inside `undetected` too —
+  /// the prune changes cost, never verdicts.
+  std::size_t lint_pruned_faults = 0;
 
   // Formal-grading footprint, summed over the faults that reached BMC (the
   // ones random simulation missed). Deterministic — the opt_/encoded_
@@ -75,6 +79,16 @@ struct PccOptions {
   /// SYMBAD_OPT_INCREMENTAL=0, falls back to a full rebuild per fault.
   /// Detection verdicts are identical in every mode.
   bool optimize = true;
+  /// Skip the BMC stage for faults a lint::FaultPruner proves undetectable
+  /// (outside every observed-output cone; under SYMBAD_LINT=2 also sites
+  /// whose net provably equals the stuck value). The simulation pre-pass
+  /// still runs for every fault — it consumes the shared campaign rng, and
+  /// skipping it would shift the stimuli of later faults. Exactness is
+  /// guarded by a one-time fault-free BMC probe: a pruned fault is reported
+  /// undetected only if the *good* design passes every property (else the
+  /// prune is disabled for the campaign). Verdicts and coverage are
+  /// identical with the prune on or off; gated globally by SYMBAD_LINT=0.
+  bool lint_prune = true;
 };
 
 /// Grades `properties` against stuck-at faults on every internal net of

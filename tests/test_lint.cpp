@@ -1,0 +1,719 @@
+// Tests for the static-analysis engine (src/lint): per-rule positive
+// detection with exact rule IDs, lint-cleanliness of every seed design and
+// generated tier, optimizer/splice output cleanliness, the FaultPruner and
+// its mc/pcc campaign wiring (verdict/coverage identity), and the strict
+// SYMBAD_LINT environment knob.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app/rtl_blocks.hpp"
+#include "core/task_graph.hpp"
+#include "gen/gen.hpp"
+#include "lint/lint.hpp"
+#include "mc/mc.hpp"
+#include "opt/optimizer.hpp"
+#include "opt/session.hpp"
+#include "pcc/pcc.hpp"
+#include "rtl/netlist.hpp"
+#include "support/test_util.hpp"
+
+namespace app = symbad::app;
+namespace core = symbad::core;
+namespace gen = symbad::gen;
+namespace lint = symbad::lint;
+namespace mc = symbad::mc;
+namespace opt = symbad::opt;
+namespace pcc = symbad::pcc;
+namespace rtl = symbad::rtl;
+
+using lint::Rule;
+
+namespace {
+
+/// Scoped environment override restoring the previous value on destruction.
+class EnvGuard {
+public:
+  EnvGuard(const char* name, const char* value) : name_{name} {
+    if (const char* old = std::getenv(name)) old_ = old;
+    if (value == nullptr) {
+      ::unsetenv(name);
+    } else {
+      ::setenv(name, value, 1);
+    }
+  }
+  ~EnvGuard() {
+    if (old_.has_value()) {
+      ::setenv(name_.c_str(), old_->c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+private:
+  std::string name_;
+  std::optional<std::string> old_;
+};
+
+/// Small clean fixture: two inputs, one register, an output cone covering
+/// every gate. Lints with zero findings, so per-rule tests mutate it.
+rtl::Netlist clean_netlist() {
+  rtl::Netlist n{"clean"};
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto d = n.add_dff(false, "r");
+  const auto x = n.add_and(a, b);
+  const auto y = n.add_xor(x, d);
+  n.connect_next(d, y);
+  n.set_output("o", y);
+  return n;
+}
+
+lint::NetlistView clean_view() { return lint::NetlistView::of(clean_netlist()); }
+
+}  // namespace
+
+// ------------------------------------------------------------ rule metadata
+
+TEST(LintRules, IdsNamesAndSeveritiesAreStable) {
+  EXPECT_STREQ(lint::rule_id(Rule::operand_range), "NL001");
+  EXPECT_STREQ(lint::rule_id(Rule::operand_arity), "NL002");
+  EXPECT_STREQ(lint::rule_id(Rule::bad_kind), "NL003");
+  EXPECT_STREQ(lint::rule_id(Rule::forward_ref), "NL004");
+  EXPECT_STREQ(lint::rule_id(Rule::comb_cycle), "NL005");
+  EXPECT_STREQ(lint::rule_id(Rule::undriven_dff), "NL006");
+  EXPECT_STREQ(lint::rule_id(Rule::dangling_logic), "NL007");
+  EXPECT_STREQ(lint::rule_id(Rule::autonomous_register), "NL008");
+  EXPECT_STREQ(lint::rule_id(Rule::const_net), "NL101");
+  EXPECT_STREQ(lint::rule_id(Rule::unreachable_mux_arm), "NL102");
+  EXPECT_STREQ(lint::rule_id(Rule::undetectable_fault), "NL103");
+  EXPECT_STREQ(lint::rule_id(Rule::graph_cycle), "TG001");
+  EXPECT_STREQ(lint::rule_id(Rule::graph_self_loop), "TG002");
+  EXPECT_STREQ(lint::rule_id(Rule::graph_duplicate_channel), "TG003");
+  EXPECT_STREQ(lint::rule_id(Rule::graph_isolated_task), "TG004");
+  EXPECT_EQ(lint::kRuleCount, 15u);
+
+  EXPECT_EQ(lint::rule_severity(Rule::operand_range), lint::Severity::error);
+  EXPECT_EQ(lint::rule_severity(Rule::comb_cycle), lint::Severity::error);
+  EXPECT_EQ(lint::rule_severity(Rule::graph_cycle), lint::Severity::error);
+  EXPECT_EQ(lint::rule_severity(Rule::dangling_logic), lint::Severity::warning);
+  EXPECT_EQ(lint::rule_severity(Rule::const_net), lint::Severity::warning);
+  EXPECT_EQ(lint::rule_severity(Rule::graph_isolated_task), lint::Severity::warning);
+  EXPECT_STREQ(lint::rule_name(Rule::comb_cycle), "comb-cycle");
+}
+
+TEST(LintRules, CleanFixtureHasNoFindings) {
+  const auto report = lint::Linter{}.analyze(clean_view());
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_EQ(report.rules_checked, 8u);  // the structural netlist tier
+  EXPECT_EQ(report.sat_proofs, 0u);
+}
+
+// --------------------------------------- per-rule positive detection (view)
+
+TEST(LintStructural, NL001OperandRange) {
+  auto v = clean_view();
+  v.gates[3].a = 99;  // and-gate operand beyond gate_count
+  const auto report = lint::Linter{}.analyze(v);
+  EXPECT_TRUE(report.has(Rule::operand_range)) << report.to_string();
+  EXPECT_GT(report.error_count(), 0u);
+  EXPECT_NE(report.to_string().find("NL001"), std::string::npos);
+}
+
+TEST(LintStructural, NL001CoversInterfaceLists) {
+  {
+    auto v = clean_view();
+    v.inputs.push_back(99);  // input list entry out of range
+    EXPECT_TRUE(lint::Linter{}.analyze(v).has(Rule::operand_range));
+  }
+  {
+    auto v = clean_view();
+    v.inputs.push_back(3);  // net 3 is an and-gate, not an input
+    EXPECT_TRUE(lint::Linter{}.analyze(v).has(Rule::operand_range));
+  }
+  {
+    auto v = clean_view();
+    v.dffs.push_back(0);  // net 0 is an input, not a flip-flop
+    EXPECT_TRUE(lint::Linter{}.analyze(v).has(Rule::operand_range));
+  }
+  {
+    auto v = clean_view();
+    v.outputs["bad"] = -7;  // output bound outside the netlist
+    EXPECT_TRUE(lint::Linter{}.analyze(v).has(Rule::operand_range));
+  }
+}
+
+TEST(LintStructural, NL002OperandArity) {
+  auto v = clean_view();
+  v.gates.push_back(rtl::Gate{rtl::GateKind::not_gate, 0, 1, -1, false});
+  const auto report = lint::Linter{}.analyze(v);
+  EXPECT_TRUE(report.has(Rule::operand_arity)) << report.to_string();
+  EXPECT_NE(report.to_string().find("NL002"), std::string::npos);
+}
+
+TEST(LintStructural, NL003BadKind) {
+  auto v = clean_view();
+  v.gates.push_back(rtl::Gate{static_cast<rtl::GateKind>(250), -1, -1, -1, false});
+  const auto report = lint::Linter{}.analyze(v);
+  EXPECT_TRUE(report.has(Rule::bad_kind)) << report.to_string();
+  EXPECT_NE(report.to_string().find("NL003"), std::string::npos);
+}
+
+TEST(LintStructural, NL004ForwardRefWithoutCycle) {
+  // net 1 reads net 2, which reads only net 0: a declaration-order
+  // violation that is still a DAG — forward_ref must fire, comb_cycle not.
+  lint::NetlistView v;
+  v.gates.push_back(rtl::Gate{rtl::GateKind::input, -1, -1, -1, false});
+  v.gates.push_back(rtl::Gate{rtl::GateKind::and_gate, 0, 2, -1, false});
+  v.gates.push_back(rtl::Gate{rtl::GateKind::not_gate, 0, -1, -1, false});
+  v.inputs = {0};
+  v.outputs["o"] = 1;
+  const auto report = lint::Linter{}.analyze(v);
+  EXPECT_TRUE(report.has(Rule::forward_ref)) << report.to_string();
+  EXPECT_FALSE(report.has(Rule::comb_cycle)) << report.to_string();
+  EXPECT_NE(report.to_string().find("NL004"), std::string::npos);
+}
+
+TEST(LintStructural, NL005CombCycle) {
+  // nets 1 and 2 read each other: unevaluable in any order.
+  lint::NetlistView v;
+  v.gates.push_back(rtl::Gate{rtl::GateKind::input, -1, -1, -1, false});
+  v.gates.push_back(rtl::Gate{rtl::GateKind::and_gate, 0, 2, -1, false});
+  v.gates.push_back(rtl::Gate{rtl::GateKind::or_gate, 1, 0, -1, false});
+  v.inputs = {0};
+  v.outputs["o"] = 2;
+  const auto report = lint::Linter{}.analyze(v);
+  EXPECT_TRUE(report.has(Rule::comb_cycle)) << report.to_string();
+  EXPECT_NE(report.to_string().find("NL005"), std::string::npos);
+}
+
+TEST(LintStructural, NL006UndrivenDff) {
+  auto v = clean_view();
+  v.gates[2].a = -1;  // disconnect the register's next-state net
+  const auto report = lint::Linter{}.analyze(v);
+  EXPECT_TRUE(report.has(Rule::undriven_dff)) << report.to_string();
+  EXPECT_GT(report.error_count(), 0u);
+  EXPECT_NE(report.to_string().find("NL006"), std::string::npos);
+}
+
+TEST(LintStructural, NL007DanglingLogic) {
+  auto v = clean_view();
+  v.gates.push_back(rtl::Gate{rtl::GateKind::or_gate, 0, 1, -1, false});
+  const auto report = lint::Linter{}.analyze(v);
+  EXPECT_TRUE(report.has(Rule::dangling_logic)) << report.to_string();
+  EXPECT_EQ(report.error_count(), 0u);  // warning severity
+  EXPECT_NE(report.to_string().find("NL007"), std::string::npos);
+}
+
+TEST(LintStructural, NL008AutonomousRegister) {
+  // A free-running toggle: the register's next state is its own negation,
+  // never a function of any primary input.
+  rtl::Netlist n{"toggle"};
+  (void)n.add_input("unused");
+  const auto d = n.add_dff(false, "t");
+  const auto nd = n.add_not(d);
+  n.connect_next(d, nd);
+  n.set_output("o", d);
+  n.set_output("u", n.input("unused"));
+  const auto report = lint::Linter{}.analyze(lint::NetlistView::of(n));
+  EXPECT_TRUE(report.has(Rule::autonomous_register)) << report.to_string();
+  EXPECT_EQ(report.error_count(), 0u);  // warning severity
+  EXPECT_NE(report.to_string().find("NL008"), std::string::npos);
+}
+
+TEST(LintStructural, SuppressionSkipsRuleAndCounter) {
+  auto v = clean_view();
+  v.gates.push_back(rtl::Gate{rtl::GateKind::or_gate, 0, 1, -1, false});
+  lint::Options o;
+  o.suppress = {Rule::dangling_logic};
+  const auto report = lint::Linter{o}.analyze(v);
+  EXPECT_FALSE(report.has(Rule::dangling_logic));
+  EXPECT_EQ(report.rules_checked, 7u);
+}
+
+TEST(LintStructural, ReportsAreDeterministic) {
+  auto v = clean_view();
+  v.gates[3].a = 99;
+  v.gates.push_back(rtl::Gate{rtl::GateKind::not_gate, 0, 1, -1, false});
+  const auto first = lint::Linter{}.analyze(v);
+  const auto second = lint::Linter{}.analyze(v);
+  EXPECT_EQ(first.to_string(), second.to_string());
+  EXPECT_EQ(first.rules_checked, second.rules_checked);
+}
+
+// ------------------------------------------------------------ semantic tier
+
+TEST(LintSemantic, NL101ConstNetProved) {
+  rtl::Netlist n{"constnet"};
+  const auto a = n.add_input("a");
+  const auto na = n.add_not(a);
+  const auto z = n.add_and(a, na);  // provably 0 for every a
+  const auto y = n.add_xor(z, a);
+  n.set_output("o", y);
+  lint::Options o;
+  o.semantic = true;
+  const auto report = lint::Linter{o}.analyze(n);
+  EXPECT_TRUE(report.has(Rule::const_net)) << report.to_string();
+  EXPECT_GT(report.sat_proofs, 0u);
+  EXPECT_EQ(report.rules_checked, 11u);  // 8 structural + 3 semantic
+  EXPECT_NE(report.to_string().find("NL101"), std::string::npos);
+  // stuck-at-0 on the proven-0 net is a functional no-op: NL103 too.
+  EXPECT_TRUE(report.has(Rule::undetectable_fault)) << report.to_string();
+}
+
+TEST(LintSemantic, NL102UnreachableMuxArm) {
+  rtl::Netlist n{"deadarm"};
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto c = n.add_input("c");
+  const auto sel = n.add_or(a, n.add_not(a));  // provably 1
+  const auto m = n.add_mux(sel, b, c);
+  n.set_output("o", m);
+  lint::Options o;
+  o.semantic = true;
+  const auto report = lint::Linter{o}.analyze(n);
+  EXPECT_TRUE(report.has(Rule::unreachable_mux_arm)) << report.to_string();
+  EXPECT_NE(report.to_string().find("NL102"), std::string::npos);
+}
+
+TEST(LintSemantic, NL103CountsOutOfConeSites) {
+  // Side logic feeding no output at all: every stuck-at on it (both
+  // polarities) is invisible to any property over the declared outputs.
+  rtl::Netlist n{"sidecone"};
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  (void)n.add_and(a, b);  // dangling — outside every output cone
+  n.set_output("o", n.add_xor(a, b));
+  lint::Options o;
+  o.semantic = true;
+  const auto report = lint::Linter{o}.analyze(n);
+  EXPECT_TRUE(report.has(Rule::undetectable_fault)) << report.to_string();
+  EXPECT_NE(report.to_string().find("NL103"), std::string::npos);
+}
+
+TEST(LintSemantic, SkippedWhenStructuralErrorsPresent) {
+  // analyze(NetlistView) never runs the semantic tier; the rtl::Netlist
+  // overload skips it when structural errors exist. Error-free netlists by
+  // construction can't exercise that guard directly, so pin the view path:
+  auto v = clean_view();
+  v.gates[3].a = 99;
+  lint::Options o;
+  o.semantic = true;
+  const auto report = lint::Linter{o}.analyze(v);
+  EXPECT_FALSE(report.has(Rule::const_net));
+  EXPECT_EQ(report.sat_proofs, 0u);
+}
+
+// ------------------------------------------------------------- graph rules
+
+TEST(LintGraph, TG001Cycle) {
+  core::TaskGraph g;
+  g.add_task("a");
+  g.add_task("b");
+  g.add_task("c");
+  g.add_channel("a", "b", 4);
+  g.add_channel("b", "c", 4);
+  g.add_channel("c", "a", 4);
+  const auto report = lint::Linter{}.analyze(g);
+  EXPECT_TRUE(report.has(Rule::graph_cycle)) << report.to_string();
+  EXPECT_GT(report.error_count(), 0u);
+  EXPECT_NE(report.to_string().find("TG001"), std::string::npos);
+}
+
+TEST(LintGraph, TG002SelfLoop) {
+  core::TaskGraph g;
+  g.add_task("a");
+  g.add_task("b");
+  g.add_channel("a", "a", 4);
+  g.add_channel("a", "b", 4);
+  const auto report = lint::Linter{}.analyze(g);
+  EXPECT_TRUE(report.has(Rule::graph_self_loop)) << report.to_string();
+  // The self-loop is excluded from Kahn's indegrees: no bogus TG001.
+  EXPECT_FALSE(report.has(Rule::graph_cycle)) << report.to_string();
+  EXPECT_NE(report.to_string().find("TG002"), std::string::npos);
+}
+
+TEST(LintGraph, TG003DuplicateChannel) {
+  core::TaskGraph g;
+  g.add_task("a");
+  g.add_task("b");
+  g.add_channel("a", "b", 4);
+  g.add_channel("a", "b", 8);
+  const auto report = lint::Linter{}.analyze(g);
+  EXPECT_TRUE(report.has(Rule::graph_duplicate_channel)) << report.to_string();
+  EXPECT_EQ(report.error_count(), 0u);  // warning severity
+  EXPECT_NE(report.to_string().find("TG003"), std::string::npos);
+}
+
+TEST(LintGraph, TG004IsolatedTask) {
+  core::TaskGraph g;
+  g.add_task("a");
+  g.add_task("b");
+  g.add_task("loner");
+  g.add_channel("a", "b", 4);
+  const auto report = lint::Linter{}.analyze(g);
+  EXPECT_TRUE(report.has(Rule::graph_isolated_task)) << report.to_string();
+  EXPECT_EQ(report.error_count(), 0u);
+  EXPECT_NE(report.to_string().find("TG004"), std::string::npos);
+  // A single-task graph is trivially connected, not isolated.
+  core::TaskGraph solo;
+  solo.add_task("only");
+  EXPECT_FALSE(lint::Linter{}.analyze(solo).has(Rule::graph_isolated_task));
+}
+
+TEST(LintGraph, CleanDagIsClean) {
+  core::TaskGraph g;
+  g.add_task("src");
+  g.add_task("mid");
+  g.add_task("sink");
+  g.add_channel("src", "mid", 16);
+  g.add_channel("mid", "sink", 16);
+  const auto report = lint::Linter{}.analyze(g);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_EQ(report.rules_checked, 4u);
+}
+
+// ----------------------------------------- seed designs & generated sweeps
+
+TEST(LintClean, SeedDesignsHaveNoErrorFindings) {
+  lint::Options o;
+  o.semantic = true;
+  const lint::Linter linter{o};
+  using Builder = rtl::Netlist (*)();
+  const Builder builders[] = {[] { return app::build_root_rtl(); },
+                              [] { return app::build_wrapper_fsm(); },
+                              [] { return app::build_distance_rtl(8, 16); }};
+  for (const Builder build : builders) {
+    const auto n = build();
+    const auto report = linter.analyze(n);
+    EXPECT_EQ(report.error_count(), 0u) << n.name() << "\n" << report.to_string();
+  }
+}
+
+TEST(LintClean, GeneratedNetlistsAllTiersHaveNoErrorFindings) {
+  // The ISSUE acceptance sweep: >= 20 generated platforms per tier lint
+  // free of error findings (warnings — pool nets — are by construction).
+  gen::SweepConfig cfg;
+  ASSERT_GE(cfg.count, 20);
+  const lint::Linter linter{};
+  for (const auto tier : cfg.tiers()) {
+    for (int i = 0; i < cfg.count; ++i) {
+      const auto n = gen::generate_netlist(cfg.seed_at(i), tier);
+      const auto report = linter.analyze(n);
+      EXPECT_EQ(report.error_count(), 0u)
+          << gen::to_string(tier) << " seed " << cfg.seed_at(i) << "\n"
+          << report.to_string();
+    }
+  }
+}
+
+TEST(LintClean, GeneratedSmallTierIsSemanticErrorFree) {
+  // The semantic tier only adds warnings today, but run it across the small
+  // tier anyway: it must never crash, and never produce an error finding.
+  gen::SweepConfig cfg;
+  lint::Options o;
+  o.semantic = true;
+  const lint::Linter linter{o};
+  for (int i = 0; i < cfg.count; ++i) {
+    const auto n = gen::generate_netlist(cfg.seed_at(i), gen::SizeTier::small);
+    const auto report = linter.analyze(n);
+    EXPECT_EQ(report.error_count(), 0u) << report.to_string();
+  }
+}
+
+TEST(LintClean, GeneratedTaskGraphsHaveNoErrorFindings) {
+  gen::SweepConfig cfg;
+  const lint::Linter linter{};
+  for (const auto tier : cfg.tiers()) {
+    for (int i = 0; i < cfg.count; ++i) {
+      const auto p = gen::generate_platform(cfg.seed_at(i), tier);
+      const auto report = linter.analyze(p.graph);
+      EXPECT_EQ(report.error_count(), 0u)
+          << gen::to_string(tier) << " seed " << p.seed << "\n" << report.to_string();
+    }
+  }
+}
+
+TEST(LintClean, OptimizerAndSpliceOutputsBothIncrementalModes) {
+  // Optimizer outputs and PreprocessSession splices lint error-free with
+  // SYMBAD_OPT_INCREMENTAL in both positions. The boundary self-checks
+  // inside opt:: already throw on errors; this pins the reports directly.
+  const lint::Linter linter{};
+  for (const char* incremental : {"1", "0"}) {
+    EnvGuard guard{"SYMBAD_OPT_INCREMENTAL", incremental};
+    for (int i = 0; i < 4; ++i) {
+      const auto n = gen::generate_netlist(gen::SweepConfig{}.seed_at(i),
+                                           gen::SizeTier::medium);
+      const opt::PreprocessSession session{n, opt::OptimizerOptions::from_env()};
+      ASSERT_TRUE(session.enabled());
+      EXPECT_EQ(linter.analyze(session.baseline().netlist).error_count(), 0u);
+      // A handful of fault sites spread across the netlist.
+      for (std::size_t site = 5; site < n.gate_count(); site += n.gate_count() / 3) {
+        const auto kind = n.gate(static_cast<rtl::Net>(site)).kind;
+        if (kind == rtl::GateKind::input || kind == rtl::GateKind::const0 ||
+            kind == rtl::GateKind::const1) {
+          continue;
+        }
+        const std::map<rtl::Net, bool> faults{{static_cast<rtl::Net>(site), true}};
+        const auto spliced = session.reoptimize(faults);
+        const auto report = linter.analyze(spliced.netlist);
+        EXPECT_EQ(report.error_count(), 0u)
+            << "site " << site << " incremental=" << incremental << "\n"
+            << report.to_string();
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- FaultPruner
+
+namespace {
+
+/// Observed cone o = f(a); side cone s = g(b). Faults in the side cone are
+/// invisible to any property over "o".
+rtl::Netlist two_cone_netlist() {
+  rtl::Netlist n{"twocone"};
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto d = n.add_dff(false, "r");
+  const auto obs = n.add_xor(a, d);
+  n.connect_next(d, obs);
+  const auto side = n.add_not(b);
+  const auto side2 = n.add_and(side, b);  // also provably 0
+  n.set_output("o", obs);
+  n.set_output("s", side2);
+  return n;
+}
+
+}  // namespace
+
+TEST(LintFaultPruner, StructuralConeMembership) {
+  const auto n = two_cone_netlist();
+  const lint::FaultPruner pruner{n, {"o"}};
+  const rtl::Net obs = n.output("o");
+  const rtl::Net side = n.output("s");
+  EXPECT_FALSE(pruner.undetectable(obs, false));
+  EXPECT_FALSE(pruner.undetectable(obs, true));
+  EXPECT_TRUE(pruner.undetectable(side, false));  // outside the "o" cone
+  EXPECT_TRUE(pruner.undetectable(side, true));
+  EXPECT_GT(pruner.prunable_sites(), 0u);
+  EXPECT_EQ(pruner.sat_proofs(), 0u);  // structural tier: no solver
+}
+
+TEST(LintFaultPruner, SemanticProvenConstSite) {
+  // side2 = and(not(b), b) is provably 0: stuck-at-0 on it is a no-op even
+  // when it IS observed.
+  const auto n = two_cone_netlist();
+  lint::FaultPruner::Options o;
+  o.semantic = true;
+  const lint::FaultPruner pruner{n, {"o", "s"}, o};
+  const rtl::Net side2 = n.output("s");
+  EXPECT_TRUE(pruner.undetectable(side2, false));
+  EXPECT_FALSE(pruner.undetectable(side2, true));
+  EXPECT_GT(pruner.sat_proofs(), 0u);
+}
+
+TEST(LintFaultPruner, UnknownObservedOutputThrows) {
+  const auto n = two_cone_netlist();
+  EXPECT_THROW((lint::FaultPruner{n, {"nonexistent"}}), std::exception);
+}
+
+// ------------------------------------------------------- mc prune identity
+
+TEST(LintMcPrune, VerdictAndCounterexampleIdenticalWithPrunedInputFault) {
+  // Fault map: one visible fault plus a stuck-at-1 on an input that only
+  // feeds the unobserved output. Pruning must not change the verdict OR the
+  // trace — the pruned input fault still reports its forced value.
+  const auto n = two_cone_netlist();
+  const mc::ModelChecker checker{n};
+  const auto prop = mc::Property::invariant("o_never", !mc::Expr::signal("o"));
+  const std::map<rtl::Net, bool> faults{{n.input("b"), true},
+                                        {n.output("o"), true}};
+  mc::ModelChecker::Options options;
+  options.max_bound = 4;
+  options.lint_prune_faults = true;
+  const auto pruned = checker.check_with_faults(prop, faults, options);
+  options.lint_prune_faults = false;
+  const auto full = checker.check_with_faults(prop, faults, options);
+  EXPECT_EQ(pruned.status, full.status);
+  EXPECT_EQ(pruned.bound_used, full.bound_used);
+  ASSERT_EQ(pruned.counterexample.has_value(), full.counterexample.has_value());
+  if (pruned.counterexample.has_value()) {
+    EXPECT_EQ(pruned.counterexample->inputs, full.counterexample->inputs);
+    // The pruned stuck-at-1 input must still read back as forced.
+    for (const auto& frame : pruned.counterexample->inputs) {
+      EXPECT_TRUE(frame.at("b"));
+    }
+  }
+}
+
+TEST(LintMcPrune, FullyPrunedMapStillRuns) {
+  // A fault map that would prune to nothing runs unfiltered — the splice
+  // still happens, opt_incremental still reports it.
+  const auto n = two_cone_netlist();
+  const mc::ModelChecker checker{n};
+  const auto prop = mc::Property::invariant("o_never", !mc::Expr::signal("o"));
+  const std::map<rtl::Net, bool> faults{{n.output("s"), true}};
+  mc::ModelChecker::Options options;
+  options.max_bound = 4;
+  options.lint_prune_faults = true;
+  const auto pruned = checker.check_with_faults(prop, faults, options);
+  options.lint_prune_faults = false;
+  const auto full = checker.check_with_faults(prop, faults, options);
+  EXPECT_EQ(pruned.status, full.status);
+  EXPECT_EQ(pruned.bound_used, full.bound_used);
+  EXPECT_EQ(pruned.opt_gates_after, full.opt_gates_after);
+}
+
+// ------------------------------------------------------ pcc prune identity
+
+namespace {
+
+/// Field-by-field PccReport verdict/coverage comparison (the prune may only
+/// change cost counters, never classification).
+void expect_same_coverage(const pcc::PccReport& a, const pcc::PccReport& b) {
+  EXPECT_EQ(a.total_faults, b.total_faults);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.detected_by_simulation, b.detected_by_simulation);
+  EXPECT_EQ(a.detected_by_bmc, b.detected_by_bmc);
+  EXPECT_DOUBLE_EQ(a.coverage_percent(), b.coverage_percent());
+  ASSERT_EQ(a.undetected.size(), b.undetected.size());
+  for (std::size_t i = 0; i < a.undetected.size(); ++i) {
+    EXPECT_EQ(a.undetected[i].net, b.undetected[i].net) << i;
+    EXPECT_EQ(a.undetected[i].stuck_to, b.undetected[i].stuck_to) << i;
+  }
+}
+
+}  // namespace
+
+TEST(LintPccPrune, CoverageIdenticalAndFaultsActuallyPruned) {
+  // ROOT core, one control-path property: the result datapath is outside
+  // the observed cone, so its faults are BMC-undetectable — the prune must
+  // classify them without BMC and match the unpruned report exactly.
+  const auto n = app::build_root_rtl();
+  std::vector<mc::Property> properties;
+  properties.push_back(mc::Property::invariant(
+      "busy_xor_done_weak",
+      !(mc::Expr::signal("busy") && mc::Expr::signal("done"))));
+  pcc::PccOptions options;
+  options.bmc_bound = 3;
+  options.simulation_cycles = 16;
+  options.simulation_runs = 2;
+  options.max_faults = 40;
+  options.lint_prune = true;
+  const auto pruned = pcc::check_property_coverage(n, properties, options);
+  options.lint_prune = false;
+  const auto full = pcc::check_property_coverage(n, properties, options);
+  expect_same_coverage(pruned, full);
+  EXPECT_GT(pruned.lint_pruned_faults, 0u);
+  EXPECT_EQ(full.lint_pruned_faults, 0u);
+  // Every pruned fault is one portfolio BMC the campaign did not pay for.
+  EXPECT_LT(pruned.encoded_vars, full.encoded_vars);
+}
+
+TEST(LintPccPrune, DirtyGoodDesignDisablesPrune) {
+  // A property the GOOD design falsifies: "pruned => undetected" would be
+  // unsound (that property detects every fault in this grading), so the
+  // one-time probe must disable the prune — and the reports still match.
+  const auto n = app::build_root_rtl();
+  std::vector<mc::Property> properties;
+  properties.push_back(
+      mc::Property::invariant("never_busy", !mc::Expr::signal("busy")));
+  pcc::PccOptions options;
+  options.bmc_bound = 3;
+  options.simulation_cycles = 8;
+  options.simulation_runs = 1;
+  options.max_faults = 10;
+  options.lint_prune = true;
+  const auto pruned = pcc::check_property_coverage(n, properties, options);
+  options.lint_prune = false;
+  const auto full = pcc::check_property_coverage(n, properties, options);
+  expect_same_coverage(pruned, full);
+  EXPECT_EQ(pruned.lint_pruned_faults, 0u);
+}
+
+TEST(LintPccPrune, WrapperCampaignIdenticalUnderPrune) {
+  const auto n = app::build_wrapper_fsm();
+  pcc::PccOptions options;
+  options.bmc_bound = 6;
+  options.lint_prune = true;
+  const auto pruned =
+      pcc::check_property_coverage(n, app::wrapper_properties_initial(), options);
+  options.lint_prune = false;
+  const auto full =
+      pcc::check_property_coverage(n, app::wrapper_properties_initial(), options);
+  expect_same_coverage(pruned, full);
+}
+
+TEST(LintPccPrune, GatedOffBySymbadLint0) {
+  EnvGuard guard{"SYMBAD_LINT", "0"};
+  const auto n = app::build_root_rtl();
+  std::vector<mc::Property> properties;
+  properties.push_back(mc::Property::invariant(
+      "busy_xor_done_weak",
+      !(mc::Expr::signal("busy") && mc::Expr::signal("done"))));
+  pcc::PccOptions options;
+  options.bmc_bound = 2;
+  options.max_faults = 6;
+  options.lint_prune = true;
+  const auto report = pcc::check_property_coverage(n, properties, options);
+  EXPECT_EQ(report.lint_pruned_faults, 0u);
+}
+
+// -------------------------------------------------- env knob & enforcement
+
+TEST(LintEnv, ModeParsesStrictly) {
+  {
+    EnvGuard guard{"SYMBAD_LINT", nullptr};
+    EXPECT_EQ(lint::mode_from_env(), lint::Mode::structural);  // default on
+  }
+  {
+    EnvGuard guard{"SYMBAD_LINT", "0"};
+    EXPECT_EQ(lint::mode_from_env(), lint::Mode::off);
+  }
+  {
+    EnvGuard guard{"SYMBAD_LINT", "1"};
+    EXPECT_EQ(lint::mode_from_env(), lint::Mode::structural);
+  }
+  {
+    EnvGuard guard{"SYMBAD_LINT", "2"};
+    EXPECT_EQ(lint::mode_from_env(), lint::Mode::semantic);
+  }
+  for (const char* bad : {"3", "-1", "banana", "1x", ""}) {
+    EnvGuard guard{"SYMBAD_LINT", bad};
+    EXPECT_THROW((void)lint::mode_from_env(), std::invalid_argument) << bad;
+  }
+}
+
+TEST(LintEnforce, ThrowsOnErrorsListsRuleIds) {
+  auto v = clean_view();
+  v.gates[3].a = 99;
+  const auto report = lint::Linter{}.analyze(v);
+  try {
+    lint::enforce(report);
+    FAIL() << "enforce did not throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("NL001"), std::string::npos) << e.what();
+  }
+}
+
+TEST(LintEnforce, WarningsPassCheckNetlistCleanOnSeeds) {
+  // enforce lets warning-only reports through...
+  auto v = clean_view();
+  v.gates.push_back(rtl::Gate{rtl::GateKind::or_gate, 0, 1, -1, false});
+  EXPECT_NO_THROW(lint::enforce(lint::Linter{}.analyze(v)));
+  // ...and the boundary helpers accept every seed design in every mode.
+  for (const char* mode : {"1", "2"}) {
+    EnvGuard guard{"SYMBAD_LINT", mode};
+    EXPECT_NO_THROW(lint::check_netlist(app::build_wrapper_fsm(), "test"));
+  }
+  EnvGuard guard{"SYMBAD_LINT", "0"};  // off: no analysis, no throw
+  EXPECT_NO_THROW(lint::check_netlist(app::build_wrapper_fsm(), "test"));
+}
