@@ -53,7 +53,7 @@ def main() -> int:
     parser.add_argument("--time-mode", choices=("fail", "warn"), default="fail",
                         help="whether real_time regressions fail or only warn")
     parser.add_argument("--counter-pattern",
-                        default=r"alloc|arena_|conflict|encoded_|gates_|gen_|lint_",
+                        default=r"alloc|arena_|conflict|encoded_|gates_|gen_|lint_|obs_",
                         help="regex of counter names that hard-fail on regression "
                              "(host-independent metrics only: allocation counts, "
                              "SAT conflicts — incl. the optimizer's sweep_conflicts "
@@ -61,9 +61,12 @@ def main() -> int:
                              "incl. the fault-grading campaigns' per-fault "
                              "gates_*/encoded_* sums, the platform "
                              "generator's gen_tasks/gen_gates/gen_beats "
-                             "per-seed structure counts and the lint engine's "
+                             "per-seed structure counts, the lint engine's "
                              "lint_rules_checked/lint_sat_proofs/"
-                             "lint_pruned_faults figures; sweep_proofs and the "
+                             "lint_pruned_faults figures and the obs layer's "
+                             "obs_allocs/obs_span_drops/obs_spans_recorded/"
+                             "obs_snapshot_entries zero-or-fixed contracts; "
+                             "sweep_proofs and the "
                              "reopt_incremental/reopt_full split are deliberately "
                              "ungated because those gates are one-sided — more "
                              "proofs and more splice-served faults are better)")

@@ -30,8 +30,8 @@ echo "==> [2/8] parallel-safety: ctest -L unit -j (suites must tolerate"
 echo "    concurrent siblings — shared fixtures, tmp dirs, env)"
 ctest --test-dir build --output-on-failure -L unit -j "$((JOBS * 2))"
 
-echo "==> [3/8] perf regression: SAT/MC/opt/kernel/lint benches vs BENCH_BASELINE.json"
-BENCH_ONLY="bench_sat bench_mc bench_mc_pcc bench_atpg bench_opt bench_level2_sim bench_gen bench_lint" \
+echo "==> [3/8] perf regression: SAT/MC/opt/kernel/lint/obs benches vs BENCH_BASELINE.json"
+BENCH_ONLY="bench_sat bench_mc bench_mc_pcc bench_atpg bench_opt bench_level2_sim bench_gen bench_lint bench_obs" \
   BENCH_OUT=build/bench_candidate.json \
   BENCH_JSON_DIR=build/bench_candidate \
   scripts/bench_baseline.sh build
@@ -57,6 +57,10 @@ SYMBAD_OPT_INCREMENTAL=0 ./build-asan/test_opt_incremental
 # Lint boundary self-checks + SAT-backed semantic tier sanitized, with the
 # strict-mode prover forced on.
 SYMBAD_LINT=2 ./build-asan/test_lint
+# Observability layer sanitized with spans on and the threaded campaign at
+# the non-default worker count (thread-shard registration/retirement and
+# the span flush path under concurrent workers).
+SYMBAD_OBS=2 SYMBAD_CAMPAIGN_WORKERS=4 ./build-asan/test_obs
 
 echo "==> [6/8] UndefinedBehaviorSanitizer: SAT core (arena offset/shift"
 echo "    arithmetic, header bit packing)"
@@ -68,9 +72,12 @@ echo "==> [7/8] ThreadSanitizer: campaign worker pool + generator sweeps"
 echo "    (the only threaded subsystem is exec::CampaignRunner — TSan the"
 echo "    suites that drive it, at the non-default 4-worker count)"
 SYMBAD_SANITIZE=thread cmake -B build-tsan -S .
-cmake --build build-tsan -j "$JOBS" --target test_exec test_gen
+cmake --build build-tsan -j "$JOBS" --target test_exec test_gen test_obs
 SYMBAD_CAMPAIGN_WORKERS=4 ./build-tsan/test_exec
 SYMBAD_CAMPAIGN_WORKERS=4 ./build-tsan/test_gen
+# Registry shards + span buffers under TSan: campaign workers increment
+# concurrently with spans on while the main thread snapshots and exports.
+SYMBAD_CAMPAIGN_WORKERS=4 SYMBAD_OBS=2 ./build-tsan/test_obs
 
 echo "==> [8/8] clang-tidy (opt-in: skipped when the tool is absent —"
 echo "    the CI container ships only the gcc toolchain)"

@@ -73,6 +73,12 @@ enum class ModelLevel {
 /// simulation-speed figures). Deliberately separated from the simulated-time
 /// metrics: these values vary run-to-run and machine-to-machine, so they
 /// must never flow into determinism or trace-agreement comparisons.
+///
+/// This struct is a per-run *view*; the process-wide source of truth is the
+/// obs registry's `host.*` namespace (`host.sim.wall_seconds` accumulates
+/// the same figure across runs, `host.exec.*` carries the campaign-level
+/// host metrics). The obs `host.` prefix adopts exactly this struct's
+/// segregation rule and is excluded from deterministic snapshots.
 struct HostMetrics {
   double wall_seconds = 0.0;
   /// Simulated bus-clock cycles per wall-clock second (levels 2/3).

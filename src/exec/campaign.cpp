@@ -16,6 +16,52 @@ namespace symbad::exec {
 
 namespace {
 
+// Deterministic campaign counters: totals are scheduling-independent sums,
+// so they stay byte-identical across worker counts. Everything timed or
+// per-worker goes through the `host.` namespace instead (registered lazily
+// per worker id below).
+struct ExecObs {
+  obs::Counter campaigns;
+  obs::Counter scenarios;
+  obs::Counter scenario_failures;
+  obs::Counter agreement_checks;
+  obs::Counter agreement_failures;
+  obs::Gauge wall_seconds;           // host.*
+  obs::Gauge scenarios_per_second;   // host.*
+};
+
+const ExecObs& exec_obs() {
+  static const ExecObs metrics{
+      obs::Registry::instance().counter("exec.campaigns"),
+      obs::Registry::instance().counter("exec.scenarios"),
+      obs::Registry::instance().counter("exec.scenario_failures"),
+      obs::Registry::instance().counter("exec.agreement_checks"),
+      obs::Registry::instance().counter("exec.agreement_failures"),
+      obs::Registry::instance().gauge("host.exec.wall_seconds"),
+      obs::Registry::instance().gauge("host.exec.scenarios_per_second"),
+  };
+  return metrics;
+}
+
+// Per-worker attribution (which worker claimed how many scenarios, how long
+// it ran, how long it sat between claims). Worker assignment depends on
+// scheduling, so all of it is host.* by construction.
+struct WorkerObs {
+  obs::Counter scenarios;
+  obs::Gauge wall_seconds;
+  obs::Gauge queue_wait_seconds;
+};
+
+WorkerObs worker_obs(int worker_id) {
+  auto& registry = obs::Registry::instance();
+  const std::string prefix = "host.exec.worker" + std::to_string(worker_id);
+  return WorkerObs{
+      registry.counter(prefix + ".scenarios"),
+      registry.gauge(prefix + ".wall_seconds"),
+      registry.gauge(prefix + ".queue_wait_seconds"),
+  };
+}
+
 void compute_agreements(CampaignReport& report) {
   // Group members ordered by (level, submission index): each consecutive
   // pair is an adjacent-level (or same-level reproducibility) check.
@@ -93,6 +139,10 @@ int CampaignRunner::resolve_workers(int requested) {
 }
 
 CampaignReport CampaignRunner::run(const std::vector<Scenario>& scenarios) const {
+  // SpanScope used directly (not OBS_SPAN) because this span must close
+  // *before* the post-join trace export below — a macro-scoped span would
+  // still be open when the file is written and never appear in it.
+  std::optional<obs::SpanScope> campaign_span{std::in_place, "exec.campaign"};
   CampaignReport report;
   report.results.resize(scenarios.size());
   const int scenario_cap =
@@ -114,9 +164,19 @@ CampaignReport CampaignRunner::run(const std::vector<Scenario>& scenarios) const
     if (options_.collect_coverage) {
       cov_scope.emplace(worker_coverage[static_cast<std::size_t>(worker_id)]);
     }
+    // Tag spans from this thread with the worker id (Chrome-trace tid) and
+    // attribute claimed scenarios / busy vs queue-wait time under host.*.
+    const obs::ScopedWorkerId obs_worker{worker_id};
+    const WorkerObs worker_metrics = worker_obs(worker_id);
+    const auto worker_start = std::chrono::steady_clock::now();
+    std::chrono::steady_clock::duration busy{};
+    OBS_SPAN("exec.worker");
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= scenarios.size()) break;
+      OBS_SPAN("exec.scenario");
+      worker_metrics.scenarios.inc();
+      const auto scenario_start = std::chrono::steady_clock::now();
       const Scenario& scenario = scenarios[i];
       ScenarioResult& result = report.results[i];
       result.name = scenario.name.empty() ? "scenario#" + std::to_string(i)
@@ -145,7 +205,13 @@ CampaignReport CampaignRunner::run(const std::vector<Scenario>& scenarios) const
           result.error = "unknown error";
         }
       }
+      busy += std::chrono::steady_clock::now() - scenario_start;
     }
+    const auto worker_wall = std::chrono::steady_clock::now() - worker_start;
+    worker_metrics.wall_seconds.set(
+        std::chrono::duration<double>(worker_wall).count());
+    worker_metrics.queue_wait_seconds.set(
+        std::chrono::duration<double>(worker_wall - busy).count());
   };
 
   if (workers == 1) {
@@ -165,6 +231,13 @@ CampaignReport CampaignRunner::run(const std::vector<Scenario>& scenarios) const
         static_cast<double>(scenarios.size()) / report.wall_seconds_total;
   }
 
+  const ExecObs& metrics = exec_obs();
+  metrics.campaigns.inc();
+  metrics.scenarios.add(scenarios.size());
+  metrics.scenario_failures.add(report.failures());
+  metrics.wall_seconds.add(report.wall_seconds_total);
+  metrics.scenarios_per_second.set(report.scenarios_per_second);
+
   if (options_.collect_coverage) {
     verif::CoverageDb merged;
     for (const auto& db : worker_coverage) merged.merge_from(db);
@@ -173,6 +246,17 @@ CampaignReport CampaignRunner::run(const std::vector<Scenario>& scenarios) const
   }
 
   compute_agreements(report);
+  metrics.agreement_checks.add(report.agreements.size());
+  for (const auto& v : report.agreements) {
+    if (!v.agree) metrics.agreement_failures.inc();
+  }
+
+  // Snapshot after the pool joined (every worker shard folded or visible)
+  // and auto-export the span timeline when SYMBAD_OBS_TRACE is set — this
+  // is the natural post-join point the trace writer documents.
+  campaign_span.reset();
+  report.metrics = obs::Registry::instance().snapshot();
+  obs::Registry::instance().write_trace_if_configured();
 
   if (options_.rethrow_errors) {
     for (auto& error : errors) {

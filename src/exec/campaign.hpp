@@ -39,6 +39,7 @@
 #include "core/explorer.hpp"
 #include "core/system_model.hpp"
 #include "exec/scenario.hpp"
+#include "obs/obs.hpp"
 #include "verif/coverage.hpp"
 
 namespace symbad::exec {
@@ -77,6 +78,14 @@ struct CampaignReport {
   double scenarios_per_second = 0.0;        ///< host metric
   verif::CoverageReport coverage;           ///< merged across workers
   std::size_t coverage_modules = 0;
+  /// Registry snapshot taken after the pool joined: the campaign's
+  /// heartbeat/progress record. Deterministic namespaces are worker-count
+  /// invariant (`metrics.to_json(false)` is byte-identical at any worker
+  /// count for a fixed scenario list); `host.*` entries are wall-clock and
+  /// scheduling dependent. Note the registry is process-wide and
+  /// monotonic, so this reflects everything since process start (or the
+  /// last obs::Registry::reset), not this campaign alone.
+  obs::Snapshot metrics;
 
   [[nodiscard]] std::size_t failures() const noexcept {
     std::size_t n = 0;

@@ -9,6 +9,7 @@
 #include "core/env.hpp"
 #include "gen/runtime.hpp"
 #include "lint/lint.hpp"
+#include "obs/obs.hpp"
 
 namespace symbad::gen {
 
@@ -137,8 +138,19 @@ rtl::Netlist generate_netlist(std::uint64_t seed, SizeTier tier) {
   shape.dffs = irange(rng, b.min_dffs, b.max_dffs);
   shape.gates = irange(rng, b.min_gates, b.max_gates);
   shape.outputs = irange(rng, b.min_outputs, b.max_outputs);
-  return random_netlist(rng, shape,
-                        std::string{"gen."} + to_string(tier) + "." + std::to_string(seed));
+  rtl::Netlist n = random_netlist(
+      rng, shape,
+      std::string{"gen."} + to_string(tier) + "." + std::to_string(seed));
+  struct GenNetlistObs {
+    obs::Counter netlists, gates;
+  };
+  static const GenNetlistObs counters{
+      obs::Registry::instance().counter("gen.netlists"),
+      obs::Registry::instance().counter("gen.gates"),
+  };
+  counters.netlists.inc();
+  counters.gates.add(n.gate_count());
+  return n;
 }
 
 // -------------------------------------------------------------- platforms
@@ -156,6 +168,7 @@ TrafficModel traffic_for(std::uint64_t seed) {
 }
 
 GeneratedPlatform generate_platform(std::uint64_t seed, SizeTier tier) {
+  OBS_SPAN("gen.generate_platform");
   const TierBounds b = tier_bounds(tier);
   GeneratedPlatform p;
   p.seed = seed;
@@ -222,6 +235,15 @@ GeneratedPlatform generate_platform(std::uint64_t seed, SizeTier tier) {
   p.params.default_bitstream_words = 512u * static_cast<std::uint32_t>(rrng.range(2, 8));
 
   p.traffic = traffic_for(seed);
+  struct GenPlatformObs {
+    obs::Counter platforms, tasks;
+  };
+  static const GenPlatformObs counters{
+      obs::Registry::instance().counter("gen.platforms"),
+      obs::Registry::instance().counter("gen.tasks"),
+  };
+  counters.platforms.inc();
+  counters.tasks.add(static_cast<std::uint64_t>(n_tasks));
   return p;
 }
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/env.hpp"
+#include "obs/obs.hpp"
 #include "rtl/cnf.hpp"
 #include "sat/solver.hpp"
 #include "verif/rng.hpp"
@@ -605,24 +606,59 @@ void Linter::semantic(const rtl::Netlist& n, LintReport& r) const {
   }
 }
 
+namespace {
+
+// Registry bridge, published exactly once per public analyze() call — the
+// netlist overload deliberately does NOT delegate to the view overload, so
+// an analysis is never counted twice (and its semantic findings are
+// included in the published totals).
+void publish_obs(const LintReport& r) {
+  struct LintObs {
+    obs::Counter analyses, rules_checked, findings, sat_proofs, sat_conflicts;
+  };
+  auto& registry = obs::Registry::instance();
+  static const LintObs counters{
+      registry.counter("lint.analyses"),
+      registry.counter("lint.rules_checked"),
+      registry.counter("lint.findings"),
+      registry.counter("lint.sat_proofs"),
+      registry.counter("lint.sat_conflicts"),
+  };
+  counters.analyses.inc();
+  counters.rules_checked.add(r.rules_checked);
+  counters.findings.add(r.findings.size());
+  counters.sat_proofs.add(r.sat_proofs);
+  counters.sat_conflicts.add(r.sat_conflicts);
+}
+
+}  // namespace
+
 LintReport Linter::analyze(const NetlistView& view) const {
+  OBS_SPAN("lint.analyze");
   LintReport r;
   r.subject = view.name;
   structural(view, r);
+  publish_obs(r);
   return r;
 }
 
 LintReport Linter::analyze(const rtl::Netlist& netlist) const {
-  LintReport r = analyze(NetlistView::of(netlist));
+  OBS_SPAN("lint.analyze");
+  const NetlistView view = NetlistView::of(netlist);
+  LintReport r;
+  r.subject = view.name;
+  structural(view, r);
   // The semantic tier encodes the netlist; structural errors mean the
   // encoder's preconditions may not hold, so it only runs on sane inputs
   // (a real rtl::Netlist is sane by construction — this guard is for
   // belt-and-braces symmetry with the view path).
   if (options_.semantic && r.error_count() == 0) semantic(netlist, r);
+  publish_obs(r);
   return r;
 }
 
 LintReport Linter::analyze(const core::TaskGraph& graph) const {
+  OBS_SPAN("lint.analyze");
   LintReport r;
   r.subject = "task_graph";
   const auto emit = [&](Rule rule, std::string object, std::string detail) {
@@ -701,6 +737,7 @@ LintReport Linter::analyze(const core::TaskGraph& graph) const {
       }
     }
   }
+  publish_obs(r);
   return r;
 }
 

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "lint/lint.hpp"
+#include "obs/obs.hpp"
 #include "opt/optimizer.hpp"
 #include "opt/session.hpp"
 
@@ -465,6 +466,60 @@ Counterexample canonical_counterexample(Session& s, int last_frame,
 
 // Works for CheckResult and MultiCheckResult alike — both carry the same
 // solver-size and arena-footprint fields.
+//
+// publish_obs bridges the completed result into the obs registry — every
+// quantity below is deterministic for a fixed check (the solver is
+// single-threaded and the encoding is canonical), so the counters hold the
+// worker-count byte-identity contract.
+void publish_obs(const CheckResult& result) {
+  struct McObs {
+    obs::Counter checks, bounds_used, frames_encoded, sat_conflicts,
+        cex_conflicts, opt_gates_before, opt_gates_after;
+  };
+  auto& registry = obs::Registry::instance();
+  static const McObs counters{
+      registry.counter("mc.checks"),
+      registry.counter("mc.bounds_used"),
+      registry.counter("mc.frames_encoded"),
+      registry.counter("mc.sat_conflicts"),
+      registry.counter("mc.cex_conflicts"),
+      registry.counter("mc.opt_gates_before"),
+      registry.counter("mc.opt_gates_after"),
+  };
+  counters.checks.inc();
+  counters.bounds_used.add(static_cast<std::uint64_t>(
+      result.bound_used < 0 ? 0 : result.bound_used));
+  counters.frames_encoded.add(result.frames_encoded);
+  counters.sat_conflicts.add(result.total_sat_conflicts);
+  counters.cex_conflicts.add(result.cex_conflicts);
+  counters.opt_gates_before.add(result.opt_gates_before);
+  counters.opt_gates_after.add(result.opt_gates_after);
+}
+
+void publish_obs(const MultiCheckResult& result) {
+  struct McPortfolioObs {
+    obs::Counter checks, properties, frames_encoded, sat_conflicts,
+        cone_recomputes, opt_gates_before, opt_gates_after;
+  };
+  auto& registry = obs::Registry::instance();
+  static const McPortfolioObs counters{
+      registry.counter("mc.portfolio.checks"),
+      registry.counter("mc.portfolio.properties"),
+      registry.counter("mc.portfolio.frames_encoded"),
+      registry.counter("mc.portfolio.sat_conflicts"),
+      registry.counter("mc.portfolio.cone_recomputes"),
+      registry.counter("mc.portfolio.opt_gates_before"),
+      registry.counter("mc.portfolio.opt_gates_after"),
+  };
+  counters.checks.inc();
+  counters.properties.add(result.results.size());
+  counters.frames_encoded.add(result.frames_encoded);
+  counters.sat_conflicts.add(result.total_sat_conflicts);
+  counters.cone_recomputes.add(result.cone_recomputes);
+  counters.opt_gates_before.add(result.opt_gates_before);
+  counters.opt_gates_after.add(result.opt_gates_after);
+}
+
 template <typename ResultT>
 void finalize_solver_stats(const Session& s, ResultT& result) {
   result.solver_variables = s.solver.variable_count();
@@ -478,6 +533,9 @@ void finalize_solver_stats(const Session& s, ResultT& result) {
     result.opt_gates_after = s.optimized->gates_after();
     result.opt_incremental = s.optimized->incremental();
   }
+  // Every exit of check_with_faults / check_all_with_faults funnels through
+  // here exactly once, so publishing at this point can never double-count.
+  publish_obs(result);
 }
 
 }  // namespace
@@ -493,6 +551,7 @@ CheckResult ModelChecker::check(const Property& property, Options options) const
 CheckResult ModelChecker::check_with_faults(const Property& property,
                                             const std::map<rtl::Net, bool>& faults,
                                             Options options) const {
+  OBS_SPAN("mc.check");
   CheckResult result;
   const std::map<rtl::Net, bool> faults_kept =
       pruned_faults(*netlist_, {&property, 1}, faults, options);
@@ -560,6 +619,7 @@ MultiCheckResult ModelChecker::check_all(const std::vector<Property>& properties
 MultiCheckResult ModelChecker::check_all_with_faults(
     const std::vector<Property>& properties, const std::map<rtl::Net, bool>& faults,
     Options options) const {
+  OBS_SPAN("mc.check_all");
   MultiCheckResult multi;
   multi.results.resize(properties.size());
   if (properties.empty()) return multi;

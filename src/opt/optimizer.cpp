@@ -6,6 +6,7 @@
 
 #include "core/env.hpp"
 #include "lint/lint.hpp"
+#include "obs/obs.hpp"
 #include "opt/rebuild.hpp"
 #include "opt/sweep.hpp"
 
@@ -174,8 +175,42 @@ OptimizerOptions OptimizerOptions::from_env() {
   return o;
 }
 
+namespace {
+
+// One batch of adds per pipeline run (disabled identity runs excluded — no
+// pipeline ran). Gate counts, candidates and solver conflicts are all
+// deterministic for a fixed input.
+void publish_obs(const OptimizeResult& result) {
+  struct OptObs {
+    obs::Counter runs, gates_before, gates_after, sweep_candidates,
+        sweep_proved, sweep_refuted, sweep_conflicts;
+  };
+  auto& registry = obs::Registry::instance();
+  static const OptObs counters{
+      registry.counter("opt.runs"),
+      registry.counter("opt.gates_before"),
+      registry.counter("opt.gates_after"),
+      registry.counter("opt.sweep_candidates"),
+      registry.counter("opt.sweep_proved"),
+      registry.counter("opt.sweep_refuted"),
+      registry.counter("opt.sweep_conflicts"),
+  };
+  counters.runs.inc();
+  counters.gates_before.add(result.gates_before());
+  counters.gates_after.add(result.gates_after());
+  for (const auto& p : result.passes) {
+    counters.sweep_candidates.add(p.sweep_candidates);
+    counters.sweep_proved.add(p.sweep_proved);
+    counters.sweep_refuted.add(p.sweep_refuted);
+    counters.sweep_conflicts.add(p.sweep_conflicts);
+  }
+}
+
+}  // namespace
+
 OptimizeResult Optimizer::run(const Netlist& input) const {
   input.validate();
+  OBS_SPAN("opt.run");
   OptimizeResult result;
 
   if (!options_.enabled) {
@@ -243,6 +278,7 @@ OptimizeResult Optimizer::run(const Netlist& input) const {
   // must be free of error-severity findings. keep_all_nets output dangles
   // by design — that is warning severity, not an error.
   lint::check_netlist(result.netlist, "opt");
+  publish_obs(result);
   return result;
 }
 

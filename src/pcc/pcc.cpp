@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "lint/lint.hpp"
+#include "obs/obs.hpp"
 #include "opt/session.hpp"
 #include "verif/rng.hpp"
 
@@ -73,6 +74,7 @@ const mc::Property* simulate_detects(const rtl::Netlist& netlist,
 PccReport check_property_coverage(const rtl::Netlist& netlist,
                                   const std::vector<mc::Property>& properties,
                                   const PccOptions& options) {
+  OBS_SPAN("pcc.check_property_coverage");
   // Candidate faults: both stuck-at polarities on every internal net.
   std::vector<std::pair<rtl::Net, bool>> faults;
   for (std::size_t i = 0; i < netlist.gate_count(); ++i) {
@@ -199,6 +201,45 @@ PccReport check_property_coverage(const rtl::Netlist& netlist,
     }
     if (!outcome.detected) report.undetected.push_back(outcome);
   }
+
+  // Registry bridge for the completed campaign — one batch of adds per
+  // report, all deterministic (fault order, sampling, grading verdicts and
+  // opt/encode footprints are seed-fixed).
+  struct PccObs {
+    obs::Counter campaigns, faults_total, detected, detected_by_simulation,
+        detected_by_bmc, lint_pruned, encoded_vars, encoded_clauses,
+        opt_gates_before, opt_gates_after, incremental_reopts, full_rebuilds,
+        baseline_sweep_proofs;
+  };
+  auto& registry = obs::Registry::instance();
+  static const PccObs counters{
+      registry.counter("pcc.campaigns"),
+      registry.counter("pcc.faults_total"),
+      registry.counter("pcc.detected"),
+      registry.counter("pcc.detected_by_simulation"),
+      registry.counter("pcc.detected_by_bmc"),
+      registry.counter("pcc.lint_pruned"),
+      registry.counter("pcc.encoded_vars"),
+      registry.counter("pcc.encoded_clauses"),
+      registry.counter("pcc.opt_gates_before"),
+      registry.counter("pcc.opt_gates_after"),
+      registry.counter("pcc.incremental_reopts"),
+      registry.counter("pcc.full_rebuilds"),
+      registry.counter("pcc.baseline_sweep_proofs"),
+  };
+  counters.campaigns.inc();
+  counters.faults_total.add(report.total_faults);
+  counters.detected.add(report.detected);
+  counters.detected_by_simulation.add(report.detected_by_simulation);
+  counters.detected_by_bmc.add(report.detected_by_bmc);
+  counters.lint_pruned.add(report.lint_pruned_faults);
+  counters.encoded_vars.add(report.encoded_vars);
+  counters.encoded_clauses.add(report.encoded_clauses);
+  counters.opt_gates_before.add(report.opt_gates_before);
+  counters.opt_gates_after.add(report.opt_gates_after);
+  counters.incremental_reopts.add(report.incremental_reopts);
+  counters.full_rebuilds.add(report.full_rebuilds);
+  counters.baseline_sweep_proofs.add(report.baseline_sweep_proofs);
   return report;
 }
 

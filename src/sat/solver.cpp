@@ -1,6 +1,7 @@
 #include "sat/solver.hpp"
 
 #include "core/env.hpp"
+#include "obs/obs.hpp"
 
 #include <algorithm>
 #include <stdexcept>
@@ -37,6 +38,51 @@ Solver::Statistics operator-(const Solver::Statistics& a, const Solver::Statisti
   d.learned_removed = a.learned_removed - b.learned_removed;
   d.arena_compactions = a.arena_compactions - b.arena_compactions;
   return d;
+}
+
+// Registry bridge for Statistics: solve() publishes its per-call delta, so
+// registry totals equal the sum of every solver's work in the process. The
+// search loop itself keeps counting into plain struct fields — the bridge
+// adds one batch of Counter::add calls per solve(), not per propagation.
+struct SatObs {
+  obs::Counter solves;
+  obs::Counter decisions;
+  obs::Counter propagations;
+  obs::Counter conflicts;
+  obs::Counter restarts;
+  obs::Counter learned_clauses;
+  obs::Counter db_reductions;
+  obs::Counter learned_removed;
+  obs::Counter compactions;
+};
+
+const SatObs& sat_obs() {
+  auto& registry = obs::Registry::instance();
+  static const SatObs counters{
+      registry.counter("sat.solves"),
+      registry.counter("sat.decisions"),
+      registry.counter("sat.propagations"),
+      registry.counter("sat.conflicts"),
+      registry.counter("sat.restarts"),
+      registry.counter("sat.learned_clauses"),
+      registry.counter("sat.db_reductions"),
+      registry.counter("sat.learned_removed"),
+      registry.counter("sat.compactions"),
+  };
+  return counters;
+}
+
+void publish_solve_delta(const Solver::Statistics& delta) {
+  const SatObs& counters = sat_obs();
+  counters.solves.inc();
+  counters.decisions.add(delta.decisions);
+  counters.propagations.add(delta.propagations);
+  counters.conflicts.add(delta.conflicts);
+  counters.restarts.add(delta.restarts);
+  counters.learned_clauses.add(delta.learned_clauses);
+  counters.db_reductions.add(delta.db_reductions);
+  counters.learned_removed.add(delta.learned_removed);
+  counters.compactions.add(delta.arena_compactions);
 }
 
 // ----------------------------------------------------------------- arena
@@ -759,6 +805,7 @@ Result Solver::solve(std::span<const Lit> assumptions) {
   const Statistics before = s.stats;
   if (!s.ok) {
     s.last_solve_delta = Statistics{};
+    publish_solve_delta(s.last_solve_delta);
     return Result::unsat;
   }
   for (const Lit l : assumptions) {
@@ -770,11 +817,13 @@ Result Solver::solve(std::span<const Lit> assumptions) {
   if (s.propagate() != kNullRef) {
     s.ok = false;
     s.last_solve_delta = s.stats - before;
+    publish_solve_delta(s.last_solve_delta);
     return Result::unsat;
   }
   const Result result = s.search(assumptions);
   s.backtrack(0);
   s.last_solve_delta = s.stats - before;
+  publish_solve_delta(s.last_solve_delta);
   return result;
 }
 

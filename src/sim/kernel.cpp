@@ -5,7 +5,31 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace symbad::sim {
+
+namespace {
+
+// Registered once; run() bridges its per-invocation deltas here, so the
+// scheduling loop itself stays untouched (no per-callback instrumentation
+// on the allocation-free hot path — the counts already exist as members).
+struct KernelObs {
+  obs::Counter runs;
+  obs::Counter callbacks;
+  obs::Counter delta_cycles;
+};
+
+const KernelObs& kernel_obs() {
+  static const KernelObs counters{
+      obs::Registry::instance().counter("sim.kernel.runs"),
+      obs::Registry::instance().counter("sim.kernel.callbacks"),
+      obs::Registry::instance().counter("sim.kernel.delta_cycles"),
+  };
+  return counters;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- Time
 
@@ -142,6 +166,9 @@ void Kernel::run_next_timed() {
 
 RunResult Kernel::run(Time limit) {
   if (running_) throw std::logic_error{"Kernel::run: re-entered"};
+  OBS_SPAN("sim.kernel.run");
+  const std::uint64_t callbacks_before = callbacks_executed_;
+  const std::uint64_t deltas_before = delta_cycles_;
   running_ = true;
   stop_requested_ = false;
   RunResult result = RunResult::no_more_events;
@@ -205,6 +232,13 @@ RunResult Kernel::run(Time limit) {
   }
 
   running_ = false;
+  // Deterministic event counts, summed registry-side across every kernel
+  // in the process — worker-count invariant because each scenario's kernel
+  // does identical work regardless of which worker hosts it.
+  const KernelObs& counters = kernel_obs();
+  counters.runs.inc();
+  counters.callbacks.add(callbacks_executed_ - callbacks_before);
+  counters.delta_cycles.add(delta_cycles_ - deltas_before);
   if (pending_error_) {
     auto error = std::exchange(pending_error_, nullptr);
     std::rethrow_exception(error);

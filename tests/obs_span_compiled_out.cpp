@@ -1,0 +1,51 @@
+// SYMBAD_OBS_NO_SPANS probe: this TU defines the macro before the first
+// include of obs.hpp, so OBS_SPAN must expand to ((void)0) — no SpanScope
+// object, no atomic load, nothing recorded even at runtime level 2. It has
+// to be its own translation unit because the switch is include-time;
+// test_obs.cpp (which wants real spans) must not see it.
+
+#define SYMBAD_OBS_NO_SPANS
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hpp"
+
+namespace obs = symbad::obs;
+
+namespace {
+
+// Deliberately exercised at level 2: with the compile-time switch the spans
+// are gone from the binary, not merely gated off.
+void probe_with_spans_compiled_out() {
+  OBS_SPAN("test.obs.compiled_out.outer");
+  {
+    OBS_SPAN("test.obs.compiled_out.inner");
+  }
+}
+
+// OBS_SPAN must be usable as a plain statement (it expands to a void
+// expression here, a declaration in instrumented TUs) — both forms have to
+// swallow the trailing semicolon inside an if/else without braces.
+void probe_statement_position(bool flag) {
+  if (flag)
+    OBS_SPAN("test.obs.compiled_out.if");
+  else
+    OBS_SPAN("test.obs.compiled_out.else");
+}
+
+}  // namespace
+
+TEST(ObsSpanCompiledOut, RecordsNothingEvenAtLevelTwo) {
+  auto& registry = obs::Registry::instance();
+  const int saved_level = registry.level();
+  registry.set_level(2);
+
+  const auto recorded_before = registry.span_events_recorded();
+  probe_with_spans_compiled_out();
+  probe_statement_position(true);
+  probe_statement_position(false);
+  EXPECT_EQ(registry.span_events_recorded(), recorded_before);
+  EXPECT_EQ(registry.span_events_dropped(), 0u);
+
+  registry.set_level(saved_level);
+}
