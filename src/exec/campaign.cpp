@@ -109,6 +109,7 @@ std::string CampaignReport::to_string() const {
      << agreements.size() << " agreement check(s), "
      << (all_agree() ? "all levels agree" : "DISAGREEMENT") << "; "
      << scenarios_per_second << " scenarios/s";
+  if (!trace_error.empty()) os << "; trace export failed: " << trace_error;
   return os.str();
 }
 
@@ -151,6 +152,7 @@ CampaignReport CampaignRunner::run(const std::vector<Scenario>& scenarios) const
   report.workers = workers;
 
   std::vector<std::exception_ptr> errors(scenarios.size());
+  std::vector<std::exception_ptr> worker_errors(static_cast<std::size_t>(workers));
   std::vector<verif::CoverageDb> worker_coverage(
       options_.collect_coverage ? static_cast<std::size_t>(workers) : 0);
 
@@ -158,60 +160,70 @@ CampaignReport CampaignRunner::run(const std::vector<Scenario>& scenarios) const
   const auto wall_start = std::chrono::steady_clock::now();
 
   auto worker_body = [&](int worker_id) {
-    // Coverage instrumentation is routed through a thread-local active
-    // database, so each worker installs its own; merged after the join.
-    std::optional<verif::CoverageDb::Scope> cov_scope;
-    if (options_.collect_coverage) {
-      cov_scope.emplace(worker_coverage[static_cast<std::size_t>(worker_id)]);
-    }
-    // Tag spans from this thread with the worker id (Chrome-trace tid) and
-    // attribute claimed scenarios / busy vs queue-wait time under host.*.
-    const obs::ScopedWorkerId obs_worker{worker_id};
-    const WorkerObs worker_metrics = worker_obs(worker_id);
-    const auto worker_start = std::chrono::steady_clock::now();
-    std::chrono::steady_clock::duration busy{};
-    OBS_SPAN("exec.worker");
-    while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= scenarios.size()) break;
-      OBS_SPAN("exec.scenario");
-      worker_metrics.scenarios.inc();
-      const auto scenario_start = std::chrono::steady_clock::now();
-      const Scenario& scenario = scenarios[i];
-      ScenarioResult& result = report.results[i];
-      result.name = scenario.name.empty() ? "scenario#" + std::to_string(i)
-                                          : scenario.name;
-      result.group = scenario.group;
-      result.index = i;
-      result.level = level_number(scenario.level);
-      try {
-        auto runtime = factory_(scenario);
-        if (runtime == nullptr) {
-          throw std::logic_error{"campaign: runtime factory returned null"};
-        }
-        core::SystemModel model{scenario.graph, scenario.partition, *runtime,
-                                scenario.params, scenario.level};
-        result.report = model.run(scenario.frames);
-        result.ok = true;
-      } catch (...) {
-        errors[i] = std::current_exception();
+    // Per-scenario failures land in `errors` below; this outer guard covers
+    // the worker's own setup and teardown (obs registration, the coverage
+    // scope), whose exceptions would otherwise escape the thread entry
+    // point and terminate the process. Captured failures rethrow on the
+    // main thread after the join.
+    try {
+      // Coverage instrumentation is routed through a thread-local active
+      // database, so each worker installs its own; merged after the join.
+      std::optional<verif::CoverageDb::Scope> cov_scope;
+      if (options_.collect_coverage) {
+        cov_scope.emplace(worker_coverage[static_cast<std::size_t>(worker_id)]);
       }
-      if (errors[i] != nullptr) {
+      // Tag spans from this thread with the worker id (Chrome-trace tid)
+      // and attribute claimed scenarios / busy vs queue-wait time under
+      // host.*.
+      const obs::ScopedWorkerId obs_worker{worker_id};
+      const WorkerObs worker_metrics = worker_obs(worker_id);
+      const auto worker_start = std::chrono::steady_clock::now();
+      std::chrono::steady_clock::duration busy{};
+      OBS_SPAN("exec.worker");
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= scenarios.size()) break;
+        OBS_SPAN("exec.scenario");
+        worker_metrics.scenarios.inc();
+        const auto scenario_start = std::chrono::steady_clock::now();
+        const Scenario& scenario = scenarios[i];
+        ScenarioResult& result = report.results[i];
+        result.name = scenario.name.empty() ? "scenario#" + std::to_string(i)
+                                            : scenario.name;
+        result.group = scenario.group;
+        result.index = i;
+        result.level = level_number(scenario.level);
         try {
-          std::rethrow_exception(errors[i]);
-        } catch (const std::exception& e) {
-          result.error = e.what();
+          auto runtime = factory_(scenario);
+          if (runtime == nullptr) {
+            throw std::logic_error{"campaign: runtime factory returned null"};
+          }
+          core::SystemModel model{scenario.graph, scenario.partition, *runtime,
+                                  scenario.params, scenario.level};
+          result.report = model.run(scenario.frames);
+          result.ok = true;
         } catch (...) {
-          result.error = "unknown error";
+          errors[i] = std::current_exception();
         }
+        if (errors[i] != nullptr) {
+          try {
+            std::rethrow_exception(errors[i]);
+          } catch (const std::exception& e) {
+            result.error = e.what();
+          } catch (...) {
+            result.error = "unknown error";
+          }
+        }
+        busy += std::chrono::steady_clock::now() - scenario_start;
       }
-      busy += std::chrono::steady_clock::now() - scenario_start;
+      const auto worker_wall = std::chrono::steady_clock::now() - worker_start;
+      worker_metrics.wall_seconds.set(
+          std::chrono::duration<double>(worker_wall).count());
+      worker_metrics.queue_wait_seconds.set(
+          std::chrono::duration<double>(worker_wall - busy).count());
+    } catch (...) {
+      worker_errors[static_cast<std::size_t>(worker_id)] = std::current_exception();
     }
-    const auto worker_wall = std::chrono::steady_clock::now() - worker_start;
-    worker_metrics.wall_seconds.set(
-        std::chrono::duration<double>(worker_wall).count());
-    worker_metrics.queue_wait_seconds.set(
-        std::chrono::duration<double>(worker_wall - busy).count());
   };
 
   if (workers == 1) {
@@ -221,6 +233,13 @@ CampaignReport CampaignRunner::run(const std::vector<Scenario>& scenarios) const
     pool.reserve(static_cast<std::size_t>(workers));
     for (int w = 0; w < workers; ++w) pool.emplace_back(worker_body, w);
     for (auto& t : pool) t.join();
+  }
+
+  // A worker-level failure (setup/teardown, not a scenario) means part of
+  // the campaign silently never ran: propagate it here, on the main thread,
+  // regardless of Options::rethrow_errors.
+  for (auto& error : worker_errors) {
+    if (error != nullptr) std::rethrow_exception(error);
   }
 
   const auto wall_end = std::chrono::steady_clock::now();
@@ -256,7 +275,13 @@ CampaignReport CampaignRunner::run(const std::vector<Scenario>& scenarios) const
   // is the natural post-join point the trace writer documents.
   campaign_span.reset();
   report.metrics = obs::Registry::instance().snapshot();
-  obs::Registry::instance().write_trace_if_configured();
+  try {
+    obs::Registry::instance().write_trace_if_configured();
+  } catch (const std::exception& e) {
+    // A bad SYMBAD_OBS_TRACE path must not discard a finished campaign:
+    // record the export failure on the report instead of throwing it.
+    report.trace_error = e.what();
+  }
 
   if (options_.rethrow_errors) {
     for (auto& error : errors) {

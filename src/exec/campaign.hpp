@@ -86,6 +86,11 @@ struct CampaignReport {
   /// monotonic, so this reflects everything since process start (or the
   /// last obs::Registry::reset), not this campaign alone.
   obs::Snapshot metrics;
+  /// Non-fatal post-campaign export failure (e.g. SYMBAD_OBS_TRACE names an
+  /// unwritable path). The campaign itself finished, so the failure is
+  /// recorded here — and flagged by to_string() — instead of thrown, which
+  /// would discard the completed results.
+  std::string trace_error;
 
   [[nodiscard]] std::size_t failures() const noexcept {
     std::size_t n = 0;

@@ -46,6 +46,13 @@ constexpr std::size_t kSpanFlushBatch = 256;
 thread_local ThreadState* t_state = nullptr;
 thread_local int t_worker_id = -1;
 thread_local int t_span_depth = 0;
+/// Set when this thread's shard has been folded into the registry by the
+/// owner's destructor. thread_local destruction order is unspecified, so a
+/// later-destroyed thread_local may still increment counters; after
+/// retirement those folds go straight into the base instead of
+/// re-registering a shard that nobody would ever retire (and whose owner
+/// registration would write a destructed ThreadStateOwner).
+thread_local bool t_retired = false;
 
 }  // namespace
 
@@ -166,6 +173,7 @@ void Registry::Impl::retire_thread(ThreadState* state) noexcept {
   }
   threads.erase(std::remove(threads.begin(), threads.end(), state), threads.end());
   t_state = nullptr;
+  t_retired = true;  // runs on the owning thread (only ~ThreadStateOwner calls)
   delete state;
 }
 
@@ -189,7 +197,15 @@ void Counter::add(std::uint64_t n) const noexcept {
   auto& impl = *g_impl;
   if (impl.level.load(std::memory_order_relaxed) == 0) return;
   ThreadState* state = t_state;
-  if (state == nullptr) state = impl.register_this_thread();  // cold, once/thread
+  if (state == nullptr) {
+    if (t_retired) {
+      // Post-retirement increment (thread_local teardown order): the shard
+      // is gone, fold into the retired-thread base directly.
+      impl.base[slot_].fetch_add(n, std::memory_order_relaxed);
+      return;
+    }
+    state = impl.register_this_thread();  // cold, once/thread
+  }
   // No epoch check here: reset zeroes the shard slots in place (they are
   // atomics), so the count path never goes stale. Span-buffer resync after
   // a reset is the SpanScope destructor's job.
@@ -233,7 +249,15 @@ SpanScope::~SpanScope() {
     return;
   }
   ThreadState* state = t_state;
-  if (state == nullptr) state = impl.register_this_thread();
+  if (state == nullptr) {
+    if (t_retired) {
+      // No shard to buffer into anymore; record the span as dropped.
+      impl.span_count.fetch_sub(1, std::memory_order_relaxed);
+      impl.span_drops.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    state = impl.register_this_thread();
+  }
   SpanEvent ev;
   ev.name = name_;
   ev.start_ns = start_ns_;

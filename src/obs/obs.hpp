@@ -59,7 +59,13 @@ class Registry;
 /// on the increment path would mean locks and reallocation where the
 /// contract promises a relaxed atomic add.
 inline constexpr std::size_t kMaxCounters = 512;
-inline constexpr std::size_t kMaxGauges = 128;
+/// Sized so the worst-case campaign fleet fits: `exec::CampaignRunner`
+/// clamps to 64 workers and each worker registers two `host.exec.workerN.*`
+/// gauges (plus the fixed `host.exec.*`/`host.sim.*` ones) from its own
+/// thread, where a capacity throw would escape the thread entry point.
+/// 64 * 2 = 128 worker gauges, so 256 leaves half the space for everyone
+/// else; test_obs pins that the full fleet registers without throwing.
+inline constexpr std::size_t kMaxGauges = 256;
 /// Span-event soft cap: beyond this the recorder drops (and counts the
 /// drops), so a million-scenario soak with spans left on cannot OOM.
 inline constexpr std::size_t kMaxSpanEvents = 1u << 20;

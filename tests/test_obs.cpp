@@ -224,7 +224,9 @@ class JsonChecker {
 // ------------------------------------------------------------- registry
 
 TEST(ObsRegistry, CounterRegistrationIsIdempotentAndOrdered) {
+  const LevelGuard guard;
   auto& registry = obs::Registry::instance();
+  registry.set_level(1);  // counting must be on even under SYMBAD_OBS=0
   const auto before = registry.counters_registered();
   const auto c1 = registry.counter("test.obs.alpha");
   const auto c2 = registry.counter("test.obs.alpha");
@@ -244,8 +246,25 @@ TEST(ObsRegistry, DefaultConstructedHandlesAreNoOps) {
   g.add(1.0);
 }
 
-TEST(ObsRegistry, GaugeSetAndAdd) {
+TEST(ObsRegistry, GaugeCapacityCoversMaxCampaignWorkerFleet) {
   auto& registry = obs::Registry::instance();
+  // resolve_workers clamps to 64 and every campaign worker registers two
+  // host gauges from its own thread, where a capacity throw would escape
+  // the thread entry point and terminate the process — so the full fleet
+  // (plus the fixed host.exec.*/host.sim.* gauges, registered by any prior
+  // campaign in this process) must fit under kMaxGauges with room to spare.
+  for (int w = 0; w < 64; ++w) {
+    const std::string prefix = "host.exec.worker" + std::to_string(w);
+    EXPECT_NO_THROW((void)registry.gauge(prefix + ".wall_seconds"));
+    EXPECT_NO_THROW((void)registry.gauge(prefix + ".queue_wait_seconds"));
+  }
+  EXPECT_LE(registry.gauges_registered(), obs::kMaxGauges);
+}
+
+TEST(ObsRegistry, GaugeSetAndAdd) {
+  const LevelGuard guard;
+  auto& registry = obs::Registry::instance();
+  registry.set_level(1);  // counting must be on even under SYMBAD_OBS=0
   const auto g = registry.gauge("test.obs.gauge");
   g.set(2.5);
   EXPECT_DOUBLE_EQ(registry.snapshot().gauge("test.obs.gauge"), 2.5);
@@ -444,6 +463,22 @@ TEST_F(ObsTraceTest, CampaignWritesValidChromeTraceWithSpanPerWorker) {
   EXPECT_NE(trace.find("\"tid\":1"), std::string::npos);
   // The campaign span itself nests the whole run on the calling thread.
   EXPECT_NE(trace.find("\"name\":\"exec.campaign\""), std::string::npos);
+}
+
+TEST_F(ObsTraceTest, UnwritableTracePathIsReportedNotThrown) {
+  const LevelGuard guard;
+  auto& registry = obs::Registry::instance();
+  registry.set_level(2);
+  registry.reset();
+  // The export runs after the campaign finished; a bad path must surface as
+  // a report warning, not throw away the completed results.
+  registry.set_trace_path((tmp_dir() / "no_such_dir" / "trace.json").string());
+
+  const auto scenarios = generated_scenarios();
+  const auto report = run_campaign(scenarios, 2);
+  EXPECT_EQ(report.failures(), 0u);
+  EXPECT_FALSE(report.trace_error.empty());
+  EXPECT_NE(report.to_string().find("trace export failed"), std::string::npos);
 }
 
 }  // namespace symbad::test
